@@ -1,0 +1,61 @@
+//! Criterion benches of the real-hardware primitives (`qsm` crate).
+//!
+//! Complements the fig8 binary with statistically disciplined single-thread
+//! measurements: uncontended acquire/release per lock, eventcount advance,
+//! sequencer tickets, and a solo barrier episode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_uncontended_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_lock");
+    for lock in qsm::all_locks(4) {
+        group.bench_function(lock.name(), |b| {
+            b.iter(|| {
+                let token = lock.lock();
+                // An empty critical section isolates lock overhead.
+                unsafe { lock.unlock(black_box(token)) };
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eventcount(c: &mut Criterion) {
+    let ec = qsm::EventCount::new();
+    c.bench_function("eventcount_advance", |b| {
+        b.iter(|| black_box(ec.advance()));
+    });
+    c.bench_function("eventcount_read", |b| {
+        b.iter(|| black_box(ec.read()));
+    });
+    let seq = qsm::Sequencer::new();
+    c.bench_function("sequencer_ticket", |b| {
+        b.iter(|| black_box(seq.ticket()));
+    });
+}
+
+fn bench_barrier_solo(c: &mut Criterion) {
+    let barrier = qsm::QsmBarrier::new(1);
+    c.bench_function("qsm_barrier_solo_episode", |b| {
+        b.iter(|| black_box(barrier.wait()));
+    });
+}
+
+fn bench_mutex(c: &mut Criterion) {
+    let mutex: qsm::Mutex<u64> = qsm::Mutex::new(0);
+    c.bench_function("qsm_mutex_lock_increment", |b| {
+        b.iter(|| {
+            *mutex.lock() += 1;
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended_locks,
+    bench_eventcount,
+    bench_barrier_solo,
+    bench_mutex
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! fig2 — lock passing time vs processor count on the NUMA machine.
+//!
+//! Same sweep as fig1 on the distributed machine: hot-module queuing
+//! replaces bus arbitration as the serializing resource, and the queue
+//! locks' advantage appears at even lower processor counts.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig2_lock_scaling_numa [-- --csv]
+//! ```
+
+use bench::{emit_final_ratio, emit_series, Opts};
+use workloads::sweeps::{lock_scaling, MachineKind};
+
+fn main() {
+    let opts = Opts::from_env();
+    let series = lock_scaling(MachineKind::Numa, &opts.procs(), opts.iters());
+    emit_series(&opts, "Fig 2: lock passing time vs P (NUMA machine)", &series);
+    if !opts.csv {
+        emit_final_ratio(&series, "tas", "qsm");
+    }
+}

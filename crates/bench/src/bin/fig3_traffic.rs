@@ -1,0 +1,25 @@
+//! fig3 — interconnect transactions per critical section vs P (bus).
+//!
+//! The causal mechanism behind fig1: test-and-set burns a transaction per
+//! probe (unbounded growth in P), TTAS/ticket pay an O(P) re-read storm per
+//! hand-off, and the queue locks (incl. QSM) pay O(1).
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig3_traffic [-- --csv]
+//! ```
+
+use bench::{emit_final_ratio, emit_series, Opts};
+use workloads::sweeps::{lock_traffic, MachineKind};
+
+fn main() {
+    let opts = Opts::from_env();
+    let series = lock_traffic(MachineKind::Bus, &opts.procs(), opts.iters());
+    emit_series(
+        &opts,
+        "Fig 3: interconnect transactions per critical section vs P (bus)",
+        &series,
+    );
+    if !opts.csv {
+        emit_final_ratio(&series, "tas", "qsm");
+    }
+}

@@ -1,0 +1,22 @@
+//! fig5 — barrier episode time vs P on the bus machine.
+//!
+//! Expected shape: the central counter grows linearly (P serialized RMWs
+//! plus a release storm); the log-depth barriers grow slowly — though on a
+//! single bus *every* transaction still serializes, so their advantage is
+//! modest here and dramatic on the NUMA machine (fig6).
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig5_barrier_bus [-- --csv]
+//! ```
+
+use bench::{emit_final_ratio, emit_series, Opts};
+use workloads::sweeps::{barrier_scaling, MachineKind};
+
+fn main() {
+    let opts = Opts::from_env();
+    let series = barrier_scaling(MachineKind::Bus, &opts.procs(), opts.episodes());
+    emit_series(&opts, "Fig 5: barrier episode time vs P (bus machine)", &series);
+    if !opts.csv {
+        emit_final_ratio(&series, "central", "qsm-tree");
+    }
+}

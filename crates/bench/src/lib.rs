@@ -1,0 +1,125 @@
+//! Shared plumbing for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! reconstructed evaluation (see DESIGN.md's per-experiment index) and
+//! honours two knobs:
+//!
+//! * `--csv` — emit CSV instead of the aligned text table;
+//! * `SYNCMECH_QUICK=1` — run a reduced sweep (fewer processors and
+//!   iterations) so integration tests can smoke-run every binary quickly.
+
+use simcore::stats::LinearFit;
+use simcore::Series;
+
+/// Runtime options shared by all figure binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Opts {
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Reduced sweep for smoke tests.
+    pub quick: bool,
+}
+
+impl Opts {
+    /// Parses `--csv` from the argument list and `SYNCMECH_QUICK` from the
+    /// environment.
+    pub fn from_env() -> Self {
+        Opts {
+            csv: std::env::args().any(|a| a == "--csv"),
+            quick: std::env::var("SYNCMECH_QUICK").map(|v| v == "1").unwrap_or(false),
+        }
+    }
+
+    /// The processor axis for scaling figures under this mode.
+    pub fn procs(&self) -> Vec<usize> {
+        if self.quick {
+            vec![1, 2, 4]
+        } else {
+            workloads::sweeps::default_procs()
+        }
+    }
+
+    /// Critical sections per processor under this mode.
+    pub fn iters(&self) -> usize {
+        if self.quick {
+            4
+        } else {
+            8
+        }
+    }
+
+    /// Barrier episodes under this mode.
+    pub fn episodes(&self) -> u64 {
+        if self.quick {
+            4
+        } else {
+            50
+        }
+    }
+}
+
+/// Prints a series in the selected format, followed by the per-curve
+/// power-law scaling exponents (`y ~ P^e`) that EXPERIMENTS.md records.
+pub fn emit_series(opts: &Opts, title: &str, series: &Series) {
+    let table = series.to_table(title);
+    if opts.csv {
+        print!("{}", table.render_csv());
+        return;
+    }
+    print!("{}", table.render());
+    println!();
+    println!("scaling exponents (log-log fit y ~ x^e):");
+    for name in series.curve_names() {
+        match series.scaling_exponent(name) {
+            Some(LinearFit { slope, r2, .. }) => {
+                println!("  {name:<22} e = {slope:+.2}  (r² = {r2:.2})");
+            }
+            None => println!("  {name:<22} e = n/a"),
+        }
+    }
+}
+
+/// Prints the headline "who wins by what factor" line for a figure.
+pub fn emit_final_ratio(series: &Series, loser: &str, winner: &str) {
+    if let Some(ratio) = series.final_ratio(loser, winner) {
+        println!();
+        println!(
+            "at the largest shared P: {loser} / {winner} = {ratio:.1}x"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_shrinks_sweeps() {
+        let quick = Opts {
+            csv: false,
+            quick: true,
+        };
+        let full = Opts::default();
+        assert!(quick.procs().len() < full.procs().len());
+        assert!(quick.iters() <= full.iters());
+        assert!(quick.episodes() < full.episodes());
+    }
+
+    #[test]
+    fn emit_series_does_not_panic() {
+        let mut s = Series::new("P", "y");
+        s.push("a", 1, 1.0);
+        s.push("a", 2, 2.0);
+        s.push("b", 1, 1.0);
+        emit_series(&Opts::default(), "test", &s);
+        emit_series(
+            &Opts {
+                csv: true,
+                quick: false,
+            },
+            "test",
+            &s,
+        );
+        emit_final_ratio(&s, "a", "b");
+    }
+}

@@ -1,0 +1,183 @@
+//! # qsm — the Queueing Synchronization Mechanism for real hardware
+//!
+//! This crate is the production counterpart of the reconstruction in
+//! `kernels`: the same algorithms, written against `std::sync::atomic` with
+//! explicit memory orderings, packaged behind safe APIs.
+//!
+//! ## The mechanism
+//!
+//! [`Qsm`] is a word-based queue lock whose hand-off is an increment of the
+//! waiter's **grant word** — a tiny eventcount — rather than a boolean flag
+//! store. The same grant-word idea supplies the crate's other services:
+//!
+//! * [`EventCount`] / [`Sequencer`] — Reed–Kanodia condition
+//!   synchronization (`await` / `advance` / `ticket`);
+//! * [`QsmBarrier`] — a reusable barrier whose arrival counter and release
+//!   epoch are both monotone counters (no reset races by construction);
+//! * [`Mutex`] — an RAII mutex generic over any [`RawLock`], defaulting
+//!   to QSM.
+//!
+//! ## The baselines
+//!
+//! Every lock the 1991 evaluation compares against is here, behind the same
+//! [`RawLock`] trait: [`TasLock`], [`TasBackoffLock`], [`TtasLock`],
+//! [`TicketLock`], [`AndersonLock`], [`ClhLock`], [`McsLock`]. The figure-8
+//! bench drives them all through one harness.
+//!
+//! ## Verification
+//!
+//! These are busy-wait primitives with hand-picked orderings, so the crate
+//! is written to be model-checked with [loom]: build the test suite with
+//! `RUSTFLAGS="--cfg loom" cargo test -p qsm --release --test loom` and
+//! every lock/barrier/eventcount test is re-run under loom's C11 memory
+//! model exploration. (The sequentially consistent interleaving checks live
+//! in the `interleave` crate and cover the simulator-facing kernels.)
+//!
+//! [loom]: https://docs.rs/loom
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsm::Mutex;
+//! use std::sync::Arc;
+//!
+//! let counter: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+//! let threads: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let counter = Arc::clone(&counter);
+//!         std::thread::spawn(move || {
+//!             for _ in 0..1000 {
+//!                 *counter.lock() += 1;
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for t in threads {
+//!     t.join().unwrap();
+//! }
+//! assert_eq!(*counter.lock(), 4000);
+//! ```
+
+pub mod anderson;
+pub mod backoff;
+pub mod barrier;
+pub mod clh;
+pub mod event;
+pub mod mcs;
+pub mod mutex;
+pub mod qsm;
+pub mod raw;
+pub mod rwlock;
+pub mod semaphore;
+pub mod tas;
+pub mod ticket;
+pub mod ttas;
+
+pub use anderson::AndersonLock;
+pub use backoff::Backoff;
+pub use barrier::QsmBarrier;
+pub use clh::ClhLock;
+pub use event::{EventCount, Sequencer};
+pub use mcs::McsLock;
+pub use mutex::{Mutex, MutexGuard};
+pub use qsm::Qsm;
+pub use raw::{all_locks, RawLock};
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+pub use semaphore::{Permit, Semaphore};
+pub use tas::{TasBackoffLock, TasLock};
+pub use ticket::TicketLock;
+pub use ttas::TtasLock;
+
+/// Synchronization shim: `loom` types under `--cfg loom`, `std` otherwise.
+///
+/// Everything in the crate funnels its atomics and spin hints through here
+/// so that one `RUSTFLAGS="--cfg loom"` rebuild puts the whole crate under
+/// the model checker.
+pub(crate) mod sync {
+    #[cfg(loom)]
+    pub(crate) use loom::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(not(loom))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+    /// One spin-wait beat: a pause hint natively; a schedule point under loom
+    /// (which cannot otherwise preempt a spin loop).
+    #[inline]
+    pub(crate) fn spin_hint() {
+        #[cfg(loom)]
+        loom::thread::yield_now();
+        #[cfg(not(loom))]
+        std::hint::spin_loop();
+    }
+
+    /// Yield the OS thread; identical to a spin beat under loom.
+    #[inline]
+    pub(crate) fn yield_now() {
+        #[cfg(loom)]
+        loom::thread::yield_now();
+        #[cfg(not(loom))]
+        std::thread::yield_now();
+    }
+}
+
+/// A value padded and aligned to its own cache line (two lines' worth of
+/// alignment to defeat adjacent-line prefetchers), so per-waiter spin
+/// variables never share a line — the discipline every scalable 1991
+/// algorithm demands.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consumes the wrapper.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn cache_padded_derefs() {
+        let mut p = CachePadded::new(5u32);
+        assert_eq!(*p, 5);
+        *p = 7;
+        assert_eq!(p.into_inner(), 7);
+    }
+
+    #[test]
+    fn padded_array_elements_do_not_share_lines() {
+        let a = [CachePadded::new(0u64), CachePadded::new(0u64)];
+        let p0 = &*a[0] as *const u64 as usize;
+        let p1 = &*a[1] as *const u64 as usize;
+        assert!(p1 - p0 >= 128);
+    }
+}

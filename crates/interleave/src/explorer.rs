@@ -1,0 +1,480 @@
+//! Schedule-replay depth-first exploration.
+
+use crate::program::{Program, RunState, TState};
+use memsim::{Addr, Word};
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Executions performed.
+    pub runs: usize,
+    /// Executions cut off at the step limit (possible livelock branches —
+    /// expected for unfair schedules of retry-loop locks).
+    pub pruned: usize,
+    /// True when the bounded schedule space was fully explored rather than
+    /// stopped at `max_runs`.
+    pub complete: bool,
+    /// Deepest schedule reached, in steps.
+    pub max_depth: usize,
+}
+
+/// Result of checking a program.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// No schedule within the bounds produced a violation.
+    Passed(Stats),
+    /// A schedule was found under which every unfinished thread is blocked.
+    Deadlock {
+        /// The thread choices, step by step, that reproduce the deadlock.
+        schedule: Vec<usize>,
+        /// Which threads were blocked, on which address.
+        blocked: Vec<(usize, Addr)>,
+        /// Statistics up to discovery.
+        stats: Stats,
+    },
+    /// An in-program assertion or the final-state invariant failed.
+    Violation {
+        /// The thread choices, step by step, that reproduce the failure.
+        schedule: Vec<usize>,
+        /// The assertion / invariant message.
+        message: String,
+        /// Statistics up to discovery.
+        stats: Stats,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Deadlock`] and [`Verdict::Violation`].
+    pub fn is_violation(&self) -> bool {
+        !matches!(self, Verdict::Passed(_))
+    }
+
+    /// The statistics regardless of outcome.
+    pub fn stats(&self) -> Stats {
+        match self {
+            Verdict::Passed(s) => *s,
+            Verdict::Deadlock { stats, .. } | Verdict::Violation { stats, .. } => *stats,
+        }
+    }
+
+    /// Panics with a readable report if the verdict is a violation.
+    pub fn expect_pass(&self, what: &str) {
+        match self {
+            Verdict::Passed(_) => {}
+            Verdict::Deadlock {
+                schedule, blocked, ..
+            } => panic!("{what}: deadlock under schedule {schedule:?}; blocked: {blocked:?}"),
+            Verdict::Violation {
+                schedule, message, ..
+            } => panic!("{what}: violation under schedule {schedule:?}: {message}"),
+        }
+    }
+}
+
+/// One scheduling decision in a trace, with the alternatives that existed.
+#[derive(Debug, Clone)]
+struct Frame {
+    enabled: Vec<usize>,
+    chosen: usize,
+    /// Bitmask over thread ids already tried at this point.
+    tried: u64,
+    /// Thread that took the previous step (None at step 0).
+    prev: Option<usize>,
+    /// Preemptions accumulated strictly before this step.
+    preempts_before: usize,
+}
+
+impl Frame {
+    fn is_preemption(&self, choice: usize) -> bool {
+        match self.prev {
+            Some(prev) => prev != choice && self.enabled.contains(&prev),
+            None => false,
+        }
+    }
+
+    fn preempts_after(&self) -> usize {
+        self.preempts_before + usize::from(self.is_preemption(self.chosen))
+    }
+}
+
+/// How one execution ended.
+#[derive(Debug)]
+enum RunEnd {
+    Complete(Vec<Word>),
+    Pruned,
+    Deadlock(Vec<(usize, Addr)>),
+    Panic(String),
+}
+
+/// Outcome of one execution: the trace of decisions plus the ending.
+struct RunOutcome {
+    trace: Vec<Frame>,
+    end: RunEnd,
+}
+
+/// The depth-first schedule explorer.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Abandon any single execution after this many steps (livelock guard).
+    pub max_steps: usize,
+    /// Stop exploring after this many executions (completeness then lost).
+    pub max_runs: usize,
+    /// Maximum involuntary context switches per schedule; `None` = unbounded
+    /// (true exhaustive search — explodes beyond toy programs).
+    pub preemption_bound: Option<usize>,
+}
+
+impl Explorer {
+    /// Full DFS with no preemption bound; only viable for small programs.
+    /// Retry-loop algorithms (plain test-and-set) have unbounded schedule
+    /// trees — use [`Explorer::bounded`] for those.
+    pub fn exhaustive() -> Self {
+        Explorer {
+            max_steps: 150,
+            max_runs: 50_000,
+            preemption_bound: None,
+        }
+    }
+
+    /// DFS restricted to schedules with at most `k` preemptions — the
+    /// practical mode for whole-lock checking.
+    pub fn bounded(k: usize) -> Self {
+        Explorer {
+            max_steps: 150,
+            max_runs: 20_000,
+            preemption_bound: Some(k),
+        }
+    }
+
+    /// Adjusts the per-execution step limit.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Adjusts the execution budget.
+    pub fn with_max_runs(mut self, max_runs: usize) -> Self {
+        self.max_runs = max_runs;
+        self
+    }
+
+    /// Explores the program's schedules; `final_check` validates the final
+    /// memory of every completed execution.
+    pub fn check<F>(&self, program: &Program, final_check: F) -> Verdict
+    where
+        F: Fn(&[Word]) -> Result<(), String>,
+    {
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut stats = Stats {
+            complete: true,
+            ..Stats::default()
+        };
+
+        loop {
+            if stats.runs >= self.max_runs {
+                stats.complete = false;
+                return Verdict::Passed(stats);
+            }
+            let prefix: Vec<usize> = stack.iter().map(|f| f.chosen).collect();
+            let outcome = self.execute(program, &prefix);
+            stats.runs += 1;
+            stats.max_depth = stats.max_depth.max(outcome.trace.len());
+
+            // Adopt the decisions taken beyond the replayed prefix.
+            for f in outcome.trace.into_iter().skip(stack.len()) {
+                stack.push(f);
+            }
+            let schedule: Vec<usize> = stack.iter().map(|f| f.chosen).collect();
+
+            match outcome.end {
+                RunEnd::Complete(memory) => {
+                    if let Err(message) = final_check(&memory) {
+                        return Verdict::Violation {
+                            schedule,
+                            message,
+                            stats,
+                        };
+                    }
+                }
+                RunEnd::Pruned => stats.pruned += 1,
+                RunEnd::Deadlock(blocked) => {
+                    return Verdict::Deadlock {
+                        schedule,
+                        blocked,
+                        stats,
+                    }
+                }
+                RunEnd::Panic(message) => {
+                    return Verdict::Violation {
+                        schedule,
+                        message,
+                        stats,
+                    }
+                }
+            }
+
+            // Backtrack: advance the deepest frame with an untried,
+            // bound-respecting alternative; drop exhausted frames.
+            loop {
+                let Some(top) = stack.last_mut() else {
+                    return Verdict::Passed(stats);
+                };
+                let budget_ok = |f: &Frame, c: usize| match self.preemption_bound {
+                    None => true,
+                    Some(k) => f.preempts_before + usize::from(f.is_preemption(c)) <= k,
+                };
+                let next = top
+                    .enabled
+                    .iter()
+                    .copied()
+                    .find(|&c| top.tried & (1 << c) == 0 && budget_ok(top, c));
+                match next {
+                    Some(c) => {
+                        top.tried |= 1 << c;
+                        top.chosen = c;
+                        break;
+                    }
+                    None => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// One execution following `prefix`, then the default policy (continue
+    /// the previous thread when enabled, else the lowest-id enabled thread).
+    fn execute(&self, program: &Program, prefix: &[usize]) -> RunOutcome {
+        let rs = RunState::new(program.initial_memory(), program.nthreads);
+        let mut trace: Vec<Frame> = Vec::new();
+
+        let end = std::thread::scope(|scope| {
+            for pid in 0..program.nthreads {
+                let rs = std::sync::Arc::clone(&rs);
+                let program = &*program;
+                scope.spawn(move || program.run_thread(pid, rs));
+            }
+
+            let mut g = rs.mu.lock().unwrap();
+            loop {
+                // Wait for quiescence: nobody mid-step, grant consumed.
+                while g.grant.is_some()
+                    || g.states.iter().any(|s| matches!(s, TState::Running))
+                {
+                    g = rs.cv.wait(g).unwrap();
+                }
+                if let Some(msg) = g.panic_msg.take() {
+                    g.aborted = true;
+                    rs.cv.notify_all();
+                    break RunEnd::Panic(msg);
+                }
+                // Unblock spinners whose predicate now holds.
+                for pid in 0..program.nthreads {
+                    if let TState::Blocked(addr, pred) = g.states[pid] {
+                        if pred.satisfied(g.memory[addr]) {
+                            g.states[pid] = TState::Ready;
+                        }
+                    }
+                }
+                let enabled: Vec<usize> = (0..program.nthreads)
+                    .filter(|&p| g.states[p] == TState::Ready)
+                    .collect();
+                if enabled.is_empty() {
+                    let blocked: Vec<(usize, Addr)> = (0..program.nthreads)
+                        .filter_map(|p| match g.states[p] {
+                            TState::Blocked(a, _) => Some((p, a)),
+                            _ => None,
+                        })
+                        .collect();
+                    g.aborted = true;
+                    rs.cv.notify_all();
+                    break if blocked.is_empty() {
+                        RunEnd::Complete(g.memory.clone())
+                    } else {
+                        RunEnd::Deadlock(blocked)
+                    };
+                }
+                if trace.len() >= self.max_steps {
+                    g.aborted = true;
+                    rs.cv.notify_all();
+                    break RunEnd::Pruned;
+                }
+
+                let step = trace.len();
+                let prev = trace.last().map(|f: &Frame| f.chosen);
+                let preempts_before = trace.last().map(|f| f.preempts_after()).unwrap_or(0);
+                let chosen = if step < prefix.len() {
+                    debug_assert!(
+                        enabled.contains(&prefix[step]),
+                        "replay diverged at step {step}: {} not in {enabled:?}",
+                        prefix[step]
+                    );
+                    prefix[step]
+                } else {
+                    // Default: stay on the same thread (zero preemptions).
+                    match prev {
+                        Some(p) if enabled.contains(&p) => p,
+                        _ => enabled[0],
+                    }
+                };
+                trace.push(Frame {
+                    enabled,
+                    chosen,
+                    tried: 1 << chosen,
+                    prev,
+                    preempts_before,
+                });
+                g.grant = Some(chosen);
+                rs.cv.notify_all();
+            }
+        });
+
+        RunOutcome { trace, end }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::SyncCtx;
+
+    #[test]
+    fn finds_lost_update_with_plain_load_store() {
+        let program = Program::new(2, 1, |ctx| {
+            let v = ctx.load(0);
+            ctx.store(0, v + 1);
+        });
+        let verdict = Explorer::exhaustive().check(&program, |mem| {
+            if mem[0] == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: counter = {}", mem[0]))
+            }
+        });
+        assert!(verdict.is_violation(), "must find the classic race");
+    }
+
+    #[test]
+    fn fetch_add_has_no_lost_update() {
+        let program = Program::new(3, 1, |ctx| {
+            ctx.fetch_add(0, 1);
+        });
+        let verdict = Explorer::exhaustive().check(&program, |mem| {
+            if mem[0] == 3 {
+                Ok(())
+            } else {
+                Err(format!("counter = {}", mem[0]))
+            }
+        });
+        verdict.expect_pass("atomic counter");
+        assert!(verdict.stats().complete);
+    }
+
+    #[test]
+    fn detects_deadlock_with_schedule() {
+        // Thread 0 waits for a flag only thread 1 can set after waiting for
+        // a flag only thread 0 can set: circular wait.
+        let program = Program::new(2, 2, |ctx| {
+            let me = ctx.pid();
+            ctx.spin_until(me, 1); // wait for my flag
+            ctx.store(1 - me, 1); // then set the other's
+        });
+        let verdict = Explorer::exhaustive().check(&program, |_| Ok(()));
+        match verdict {
+            Verdict::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 2);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spin_until_handshake_passes() {
+        let program = Program::new(2, 2, |ctx| {
+            if ctx.pid() == 0 {
+                ctx.store(0, 1);
+                ctx.spin_until(1, 1);
+            } else {
+                ctx.spin_until(0, 1);
+                ctx.store(1, 1);
+            }
+        });
+        Explorer::exhaustive()
+            .check(&program, |_| Ok(()))
+            .expect_pass("handshake");
+    }
+
+    #[test]
+    fn in_program_assert_becomes_violation() {
+        let program = Program::new(2, 1, |ctx| {
+            let old = ctx.swap(0, 1);
+            assert_eq!(old, 0, "both threads saw the word free");
+            // No release: the second thread's swap returns 1 and asserts.
+        });
+        let verdict = Explorer::exhaustive().check(&program, |_| Ok(()));
+        match verdict {
+            Verdict::Violation { message, .. } => {
+                assert!(message.contains("free"), "got: {message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preemption_bound_zero_is_serial_schedules_only() {
+        // With zero preemptions the two increments cannot interleave, so
+        // the race is invisible — documenting what the bound trades away.
+        let program = Program::new(2, 1, |ctx| {
+            let v = ctx.load(0);
+            ctx.store(0, v + 1);
+        });
+        let verdict = Explorer::bounded(0).check(&program, |mem| {
+            if mem[0] == 2 {
+                Ok(())
+            } else {
+                Err("lost update".into())
+            }
+        });
+        assert!(!verdict.is_violation());
+        // One preemption suffices to expose it.
+        let verdict = Explorer::bounded(1).check(&program, |mem| {
+            if mem[0] == 2 {
+                Ok(())
+            } else {
+                Err("lost update".into())
+            }
+        });
+        assert!(verdict.is_violation());
+    }
+
+    #[test]
+    fn run_budget_is_respected() {
+        let program = Program::new(3, 1, |ctx| {
+            for _ in 0..4 {
+                ctx.fetch_add(0, 1);
+            }
+        });
+        let mut explorer = Explorer::exhaustive();
+        explorer.max_runs = 10;
+        let verdict = explorer.check(&program, |_| Ok(()));
+        let stats = verdict.stats();
+        assert_eq!(stats.runs, 10);
+        assert!(!stats.complete);
+    }
+
+    #[test]
+    fn single_thread_single_run() {
+        let program = Program::new(1, 1, |ctx| {
+            ctx.store(0, 7);
+        });
+        let verdict = Explorer::exhaustive().check(&program, |mem| {
+            if mem[0] == 7 {
+                Ok(())
+            } else {
+                Err("wrong".into())
+            }
+        });
+        assert_eq!(verdict.stats().runs, 1);
+        assert!(verdict.stats().complete);
+    }
+}

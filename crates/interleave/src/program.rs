@@ -1,0 +1,282 @@
+//! Programs under test and the schedule-controlled execution context.
+
+use kernels::SyncCtx;
+use memsim::{Addr, Word};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel payload used to unwind worker threads when a run is torn down
+/// (verdict already decided elsewhere). Never reported as a failure.
+struct ChkAbort;
+
+/// Wait predicate mirroring the kernels' spin semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pred {
+    /// Runnable when the word differs from the value.
+    WhileEq(Word),
+    /// Runnable when the word equals the value.
+    UntilEq(Word),
+}
+
+impl Pred {
+    pub(crate) fn satisfied(self, cur: Word) -> bool {
+        match self {
+            Pred::WhileEq(v) => cur != v,
+            Pred::UntilEq(v) => cur == v,
+        }
+    }
+}
+
+/// Scheduler-visible state of one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// Executing local code (or not yet at its first operation).
+    Running,
+    /// Parked at a schedule point, waiting to be granted a step.
+    Ready,
+    /// Parked in a spin whose predicate is false.
+    Blocked(Addr, Pred),
+    /// Body returned (or unwound).
+    Finished,
+}
+
+/// Shared state of one execution.
+pub(crate) struct Shared {
+    pub memory: Vec<Word>,
+    pub states: Vec<TState>,
+    /// Thread currently allowed to take its step.
+    pub grant: Option<usize>,
+    /// First assertion/panic message raised by the program.
+    pub panic_msg: Option<String>,
+    /// Tear-down flag: parked threads unwind when they observe it.
+    pub aborted: bool,
+}
+
+pub(crate) struct RunState {
+    pub mu: Mutex<Shared>,
+    pub cv: Condvar,
+}
+
+impl RunState {
+    pub(crate) fn new(memory: Vec<Word>, nthreads: usize) -> Arc<Self> {
+        Arc::new(RunState {
+            mu: Mutex::new(Shared {
+                memory,
+                states: vec![TState::Running; nthreads],
+                grant: None,
+                panic_msg: None,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// The execution context handed to each thread of a [`Program`]. Implements
+/// [`kernels::SyncCtx`], so lock/barrier kernels run on it unmodified.
+pub struct ChkCtx {
+    pid: usize,
+    nthreads: usize,
+    rs: Arc<RunState>,
+}
+
+impl ChkCtx {
+    fn step<R>(&mut self, f: impl FnOnce(&mut Vec<Word>) -> R) -> R {
+        let mut g = self.rs.mu.lock().unwrap();
+        g.states[self.pid] = TState::Ready;
+        self.rs.cv.notify_all();
+        loop {
+            if g.aborted {
+                drop(g);
+                std::panic::panic_any(ChkAbort);
+            }
+            if g.grant == Some(self.pid) {
+                break;
+            }
+            g = self.rs.cv.wait(g).unwrap();
+        }
+        g.grant = None;
+        g.states[self.pid] = TState::Running;
+        let r = f(&mut g.memory);
+        self.rs.cv.notify_all();
+        r
+    }
+
+    fn spin(&mut self, addr: Addr, pred: Pred) -> Word {
+        let mut g = self.rs.mu.lock().unwrap();
+        g.states[self.pid] = TState::Ready;
+        self.rs.cv.notify_all();
+        loop {
+            if g.aborted {
+                drop(g);
+                std::panic::panic_any(ChkAbort);
+            }
+            if g.grant == Some(self.pid) {
+                g.grant = None;
+                let cur = g.memory[addr];
+                if pred.satisfied(cur) {
+                    g.states[self.pid] = TState::Running;
+                    self.rs.cv.notify_all();
+                    return cur;
+                }
+                // Wake-up raced a conflicting write (or this is the first
+                // probe): park until the scheduler re-readies us.
+                g.states[self.pid] = TState::Blocked(addr, pred);
+                self.rs.cv.notify_all();
+            } else {
+                g = self.rs.cv.wait(g).unwrap();
+            }
+        }
+    }
+}
+
+impl SyncCtx for ChkCtx {
+    fn pid(&self) -> usize {
+        self.pid
+    }
+    fn nprocs(&self) -> usize {
+        self.nthreads
+    }
+    fn load(&mut self, addr: Addr) -> Word {
+        self.step(|m| m[addr])
+    }
+    fn store(&mut self, addr: Addr, val: Word) {
+        self.step(|m| m[addr] = val);
+    }
+    fn swap(&mut self, addr: Addr, val: Word) -> Word {
+        self.step(|m| std::mem::replace(&mut m[addr], val))
+    }
+    fn cas(&mut self, addr: Addr, expected: Word, new: Word) -> Result<Word, Word> {
+        self.step(|m| {
+            let old = m[addr];
+            if old == expected {
+                m[addr] = new;
+                Ok(old)
+            } else {
+                Err(old)
+            }
+        })
+    }
+    fn fetch_add(&mut self, addr: Addr, delta: Word) -> Word {
+        self.step(|m| {
+            let old = m[addr];
+            m[addr] = old.wrapping_add(delta);
+            old
+        })
+    }
+    fn spin_while(&mut self, addr: Addr, val: Word) -> Word {
+        self.spin(addr, Pred::WhileEq(val))
+    }
+    fn spin_until(&mut self, addr: Addr, val: Word) {
+        self.spin(addr, Pred::UntilEq(val));
+    }
+    /// Local time does not exist under the checker; backoff delays are
+    /// no-ops (they do not affect sequential-consistency correctness).
+    fn delay(&mut self, _cycles: u64) {}
+}
+
+/// A multi-threaded program over a small shared memory.
+#[derive(Clone)]
+pub struct Program {
+    pub(crate) nthreads: usize,
+    pub(crate) memory_words: usize,
+    pub(crate) init: Vec<(Addr, Word)>,
+    pub(crate) body: Arc<dyn Fn(&mut ChkCtx) + Send + Sync>,
+}
+
+impl Program {
+    /// Creates a program: `body` runs once per thread (distinguish roles
+    /// with [`ChkCtx::pid`] via the `SyncCtx` trait).
+    pub fn new<F>(nthreads: usize, memory_words: usize, body: F) -> Self
+    where
+        F: Fn(&mut ChkCtx) + Send + Sync + 'static,
+    {
+        assert!((1..=64).contains(&nthreads), "1..=64 threads supported");
+        Program {
+            nthreads,
+            memory_words,
+            init: Vec::new(),
+            body: Arc::new(body),
+        }
+    }
+
+    /// Sets nonzero initial memory words.
+    pub fn with_init(mut self, init: Vec<(Addr, Word)>) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Number of threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    pub(crate) fn initial_memory(&self) -> Vec<Word> {
+        let mut m = vec![0; self.memory_words];
+        for &(a, v) in &self.init {
+            m[a] = v;
+        }
+        m
+    }
+
+    /// Runs the thread body for `pid` over `rs`, translating panics into
+    /// the shared state. Called from a dedicated OS thread per run.
+    pub(crate) fn run_thread(&self, pid: usize, rs: Arc<RunState>) {
+        let mut ctx = ChkCtx {
+            pid,
+            nthreads: self.nthreads,
+            rs: Arc::clone(&rs),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| (self.body)(&mut ctx)));
+        let mut g = rs.mu.lock().unwrap();
+        if let Err(payload) = outcome {
+            if payload.downcast_ref::<ChkAbort>().is_none() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                if g.panic_msg.is_none() {
+                    g.panic_msg = Some(msg);
+                }
+            }
+        }
+        g.states[pid] = TState::Finished;
+        rs.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("nthreads", &self.nthreads)
+            .field("memory_words", &self.memory_words)
+            .field("init", &self.init)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_semantics() {
+        assert!(Pred::WhileEq(1).satisfied(0));
+        assert!(!Pred::WhileEq(1).satisfied(1));
+        assert!(Pred::UntilEq(1).satisfied(1));
+        assert!(!Pred::UntilEq(1).satisfied(0));
+    }
+
+    #[test]
+    fn initial_memory_applies_init() {
+        let p = Program::new(1, 4, |_| {}).with_init(vec![(2, 9)]);
+        assert_eq!(p.initial_memory(), vec![0, 0, 9, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads supported")]
+    fn zero_threads_rejected() {
+        Program::new(0, 1, |_| {});
+    }
+}

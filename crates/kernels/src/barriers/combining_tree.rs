@@ -1,0 +1,192 @@
+//! Software combining-tree barrier.
+//!
+//! Arrivals are spread over a tree of counters with bounded fan-in, so at
+//! most `fan_in` processors ever contend on one word and the critical path
+//! is the tree depth: O(log P) instead of the central barrier's O(P). The
+//! last processor to finish a node ascends to its parent; whoever completes
+//! the root publishes the new epoch, which all processors watch.
+
+use super::{BarrierKernel, BarrierState};
+use crate::ctx::SyncCtx;
+use crate::layout::Region;
+use crate::Addr;
+
+/// Combining-tree barrier with configurable fan-in.
+///
+/// Lines: one epoch word + one counter per tree node, nodes in level order
+/// (level 0 = leaves grouping processors).
+#[derive(Debug, Clone, Copy)]
+pub struct CombiningTreeBarrier {
+    /// Maximum children combined per node (≥ 2).
+    pub fan_in: usize,
+}
+
+impl Default for CombiningTreeBarrier {
+    fn default() -> Self {
+        CombiningTreeBarrier { fan_in: 4 }
+    }
+}
+
+/// Shape of the combining tree for a given processor count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Node count per level; `levels[0]` are the leaves.
+    pub levels: Vec<usize>,
+}
+
+impl TreeShape {
+    /// Computes the level sizes for `nprocs` inputs with `fan_in`.
+    pub fn new(nprocs: usize, fan_in: usize) -> Self {
+        assert!(fan_in >= 2, "fan-in must be at least 2");
+        assert!(nprocs >= 1);
+        let mut levels = Vec::new();
+        let mut width = nprocs;
+        loop {
+            width = width.div_ceil(fan_in);
+            levels.push(width);
+            if width == 1 {
+                break;
+            }
+        }
+        TreeShape { levels }
+    }
+
+    /// Total number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.levels.iter().sum()
+    }
+
+    /// Flat index of node `j` at `level` (levels stored consecutively).
+    pub fn index(&self, level: usize, j: usize) -> usize {
+        self.levels[..level].iter().sum::<usize>() + j
+    }
+
+    /// Number of children feeding node `j` at `level`, given `nprocs`.
+    pub fn fan_of(&self, nprocs: usize, fan_in: usize, level: usize, j: usize) -> usize {
+        let inputs = if level == 0 {
+            nprocs
+        } else {
+            self.levels[level - 1]
+        };
+        let lo = j * fan_in;
+        let hi = ((j + 1) * fan_in).min(inputs);
+        hi - lo
+    }
+}
+
+impl CombiningTreeBarrier {
+    /// Address of the epoch word.
+    pub fn epoch(region: &Region) -> Addr {
+        region.slot(0)
+    }
+
+    /// Address of the counter for flat node index `n`.
+    pub fn node(region: &Region, n: usize) -> Addr {
+        region.slot(1 + n)
+    }
+}
+
+impl BarrierKernel for CombiningTreeBarrier {
+    fn name(&self) -> &'static str {
+        "combining-tree"
+    }
+
+    fn lines_needed(&self, nprocs: usize) -> usize {
+        1 + TreeShape::new(nprocs, self.fan_in).nodes()
+    }
+
+    fn arrive(&self, ctx: &mut dyn SyncCtx, region: &Region, st: &mut BarrierState) {
+        let nprocs = ctx.nprocs();
+        let shape = TreeShape::new(nprocs, self.fan_in);
+        let next_epoch = st.round + 1;
+        let mut level = 0;
+        let mut j = ctx.pid() / self.fan_in;
+        let completed_root = loop {
+            let fan = shape.fan_of(nprocs, self.fan_in, level, j) as u64;
+            let node = Self::node(region, shape.index(level, j));
+            let arrived = ctx.fetch_add(node, 1);
+            if arrived != fan - 1 {
+                break false; // someone else carries this node upward
+            }
+            // Node complete: reset it for the next episode and ascend.
+            ctx.store(node, 0);
+            if level + 1 == shape.levels.len() {
+                break true;
+            }
+            level += 1;
+            j /= self.fan_in;
+        };
+        if completed_root {
+            ctx.store(Self::epoch(region), next_epoch);
+        } else {
+            ctx.spin_until(Self::epoch(region), next_epoch);
+        }
+        st.round = next_epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barriers::{episode_trial, timing_trial};
+    use crate::barriers::central::CentralBarrier;
+    use memsim::{Machine, MachineParams};
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = TreeShape::new(16, 4);
+        assert_eq!(s.levels, vec![4, 1]);
+        assert_eq!(s.nodes(), 5);
+        assert_eq!(s.index(0, 3), 3);
+        assert_eq!(s.index(1, 0), 4);
+        assert_eq!(s.fan_of(16, 4, 0, 0), 4);
+        assert_eq!(s.fan_of(16, 4, 1, 0), 4);
+    }
+
+    #[test]
+    fn shape_handles_ragged_sizes() {
+        let s = TreeShape::new(9, 4);
+        assert_eq!(s.levels, vec![3, 1]);
+        // Leaf 2 combines a single processor (pid 8).
+        assert_eq!(s.fan_of(9, 4, 0, 2), 1);
+        assert_eq!(s.fan_of(9, 4, 1, 0), 3);
+        let tiny = TreeShape::new(1, 4);
+        assert_eq!(tiny.levels, vec![1]);
+        assert_eq!(tiny.fan_of(1, 4, 0, 0), 1);
+    }
+
+    #[test]
+    fn safety_under_contention() {
+        let machine = Machine::new(MachineParams::bus_1991(9));
+        episode_trial(&machine, &CombiningTreeBarrier::default(), 9, 4).unwrap();
+    }
+
+    #[test]
+    fn safety_with_fan_in_two() {
+        let machine = Machine::new(MachineParams::bus_1991(7));
+        episode_trial(&machine, &CombiningTreeBarrier { fan_in: 2 }, 7, 4).unwrap();
+    }
+
+    #[test]
+    fn beats_central_on_numa() {
+        // On a single bus every transaction serializes anyway, so combining
+        // cannot win there; its advantage is spreading the hot spot across
+        // NUMA memory modules — the machine this test uses.
+        let p = 24;
+        let machine = Machine::new(MachineParams::numa_1991(p));
+        let tree = timing_trial(&machine, &CombiningTreeBarrier::default(), p, 6, 0).unwrap();
+        let central = timing_trial(&machine, &CentralBarrier, p, 6, 0).unwrap();
+        assert!(
+            tree.metrics.total_cycles < central.metrics.total_cycles,
+            "tree {} vs central {}",
+            tree.metrics.total_cycles,
+            central.metrics.total_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in must be at least 2")]
+    fn degenerate_fan_in_rejected() {
+        TreeShape::new(4, 1);
+    }
+}

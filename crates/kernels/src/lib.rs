@@ -1,0 +1,48 @@
+//! # kernels — synchronization algorithms over an abstract memory API
+//!
+//! Every algorithm in the reproduction — the paper's **QSM** mechanism and all
+//! the 1991-era baselines — is written once against the [`SyncCtx`] trait and
+//! then runs unmodified on two substrates:
+//!
+//! * [`memsim`]'s simulated multiprocessor (performance: fig1–fig7), via the
+//!   blanket [`SyncCtx`] implementation for [`memsim::Proc`];
+//! * the `interleave` crate's exhaustive model checker (correctness), which
+//!   supplies its own `SyncCtx` with a schedule-controlled memory.
+//!
+//! ## Inventory
+//!
+//! Locks ([`locks`]): test-and-set, test-and-set with exponential backoff,
+//! test-and-test-and-set, ticket, ticket with proportional backoff, Anderson's
+//! array lock, Graunke–Thakkar, CLH, MCS, and **QSM** — the reconstructed
+//! "new synchronization mechanism".
+//!
+//! Barriers ([`barriers`]): central sense-reversing counter, software
+//! combining tree, dissemination, tournament, MCS-style static tree, and the
+//! **QSM barrier** built from the mechanism's grant words.
+//!
+//! Eventcounts ([`events`]): the await/advance service QSM unifies with its
+//! lock queue.
+//!
+//! ## Memory discipline
+//!
+//! Shared variables are laid out by [`layout::Region`] at cache-line
+//! granularity, exactly as the original algorithms demand (Anderson's slots,
+//! MCS nodes and dissemination flags are all explicitly padded in the
+//! literature). Watchpoint spinning in the simulator is word-granular, which
+//! is equivalent to assuming those pads are respected.
+
+pub mod barriers;
+pub mod ctx;
+pub mod events;
+pub mod layout;
+pub mod locks;
+pub mod rwlock;
+
+pub use ctx::SyncCtx;
+pub use layout::Region;
+
+/// A machine word (re-exported from the simulator for convenience).
+pub type Word = memsim::Word;
+
+/// A word address (re-exported from the simulator for convenience).
+pub type Addr = memsim::Addr;

@@ -1,0 +1,181 @@
+//! Per-processor private cache.
+//!
+//! A minimal write-invalidate MSI cache: each line a processor holds is
+//! either `Shared` (clean, possibly replicated) or `Modified` (exclusive,
+//! dirty). The cache tracks only *state*, not data — the engine keeps the
+//! single authoritative copy of memory, which is valid because the engine
+//! serializes all accesses and the protocol guarantees single-writer.
+//! (The Exclusive-clean state of full MESI is deliberately omitted; see
+//! DESIGN.md §"Key design decisions".)
+
+use std::collections::HashMap;
+
+/// Coherence state of a line held in a private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Clean copy; other caches may also hold the line.
+    Shared,
+    /// Exclusive dirty copy; no other cache holds the line.
+    Modified,
+}
+
+/// One processor's private cache: a bounded map from line index to state,
+/// with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    capacity: usize,
+    /// line → (state, last-use tick)
+    lines: HashMap<usize, (LineState, u64)>,
+    tick: u64,
+}
+
+/// What happened when a line was inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inserted {
+    /// A line that had to be evicted to make room, and whether it was dirty
+    /// (dirty evictions cost a write-back).
+    pub evicted: Option<(usize, bool)>,
+}
+
+impl Cache {
+    /// Creates an empty cache holding at most `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be nonzero");
+        Cache {
+            capacity,
+            lines: HashMap::with_capacity(capacity.min(4096)),
+            tick: 0,
+        }
+    }
+
+    /// Current state of a line, if present. Does not touch LRU order.
+    pub fn state(&self, line: usize) -> Option<LineState> {
+        self.lines.get(&line).map(|&(s, _)| s)
+    }
+
+    /// Marks a line as used now (LRU bookkeeping for hits).
+    pub fn touch(&mut self, line: usize) {
+        self.tick += 1;
+        if let Some(entry) = self.lines.get_mut(&line) {
+            entry.1 = self.tick;
+        }
+    }
+
+    /// Inserts or transitions a line to `state`, evicting the LRU line if the
+    /// cache is full. Returns eviction information so the engine can charge a
+    /// write-back for dirty victims.
+    pub fn insert(&mut self, line: usize, state: LineState) -> Inserted {
+        self.tick += 1;
+        if let Some(entry) = self.lines.get_mut(&line) {
+            entry.0 = state;
+            entry.1 = self.tick;
+            return Inserted { evicted: None };
+        }
+        let evicted = if self.lines.len() >= self.capacity {
+            // Evict the least-recently-used resident line.
+            let (&victim, &(vstate, _)) = self
+                .lines
+                .iter()
+                .min_by_key(|(&l, &(_, t))| (t, l))
+                .expect("cache full but empty");
+            self.lines.remove(&victim);
+            Some((victim, vstate == LineState::Modified))
+        } else {
+            None
+        };
+        self.lines.insert(line, (state, self.tick));
+        Inserted { evicted }
+    }
+
+    /// Drops a line (remote invalidation). Returns `true` if it was present.
+    pub fn invalidate(&mut self, line: usize) -> bool {
+        self.lines.remove(&line).is_some()
+    }
+
+    /// Downgrades a Modified line to Shared (a remote reader fetched it).
+    /// No-op if the line is absent or already Shared.
+    pub fn downgrade(&mut self, line: usize) {
+        if let Some(entry) = self.lines.get_mut(&line) {
+            entry.0 = LineState::Shared;
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_state() {
+        let mut c = Cache::new(4);
+        assert_eq!(c.state(1), None);
+        c.insert(1, LineState::Shared);
+        assert_eq!(c.state(1), Some(LineState::Shared));
+        c.insert(1, LineState::Modified);
+        assert_eq!(c.state(1), Some(LineState::Modified));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = Cache::new(4);
+        c.insert(9, LineState::Modified);
+        assert!(c.invalidate(9));
+        assert!(!c.invalidate(9));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn downgrade_keeps_line() {
+        let mut c = Cache::new(4);
+        c.insert(2, LineState::Modified);
+        c.downgrade(2);
+        assert_eq!(c.state(2), Some(LineState::Shared));
+        c.downgrade(3); // absent: no-op
+        assert_eq!(c.state(3), None);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(2);
+        c.insert(1, LineState::Shared);
+        c.insert(2, LineState::Shared);
+        c.touch(1); // 2 is now LRU
+        let ins = c.insert(3, LineState::Shared);
+        assert_eq!(ins.evicted, Some((2, false)));
+        assert_eq!(c.state(1), Some(LineState::Shared));
+        assert_eq!(c.state(3), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = Cache::new(1);
+        c.insert(1, LineState::Modified);
+        let ins = c.insert(2, LineState::Shared);
+        assert_eq!(ins.evicted, Some((1, true)));
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = Cache::new(1);
+        c.insert(1, LineState::Shared);
+        let ins = c.insert(1, LineState::Modified);
+        assert_eq!(ins.evicted, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        Cache::new(0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Global coherence directory.
+//!
+//! The engine's single source of truth about which caches hold which lines.
+//! On the bus machine this plays the role of the snoop results; on the NUMA
+//! machine it is a full-map directory (one presence bit per processor, plus
+//! an owner field). Sharer sets are `u128` bitmasks, bounding the simulator
+//! at 128 processors — far beyond every figure in the reproduction.
+
+use crate::cache::LineState;
+use std::collections::HashMap;
+
+/// Directory knowledge about one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirEntry {
+    /// Presence bitmask: bit `p` set ⇔ processor `p` caches the line.
+    pub sharers: u128,
+    /// Exclusive owner, if some cache holds the line Modified.
+    pub owner: Option<usize>,
+}
+
+impl DirEntry {
+    /// Sharers other than `pid`, as a bitmask.
+    pub fn others(&self, pid: usize) -> u128 {
+        self.sharers & !(1u128 << pid)
+    }
+
+    /// Number of caches holding the line.
+    pub fn count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+}
+
+/// Full-map directory over all lines ever touched.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<usize, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Directory entry for a line (absent lines read as uncached).
+    pub fn entry(&self, line: usize) -> DirEntry {
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Records that `pid` now caches `line` in `state`, returning the set of
+    /// *other* processors whose copies this transition invalidates
+    /// (nonempty only for Modified).
+    pub fn acquire(&mut self, line: usize, pid: usize, state: LineState) -> u128 {
+        let e = self.entries.entry(line).or_default();
+        match state {
+            LineState::Shared => {
+                // A reader joins; a previous exclusive owner is downgraded,
+                // not invalidated.
+                e.sharers |= 1u128 << pid;
+                if e.owner == Some(pid) {
+                    e.owner = None;
+                }
+                if e.owner.is_some() {
+                    e.owner = None;
+                }
+                0
+            }
+            LineState::Modified => {
+                let victims = e.others(pid);
+                e.sharers = 1u128 << pid;
+                e.owner = Some(pid);
+                victims
+            }
+        }
+    }
+
+    /// Records that `pid` dropped `line` (capacity eviction).
+    pub fn release(&mut self, line: usize, pid: usize) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1u128 << pid);
+            if e.owner == Some(pid) {
+                e.owner = None;
+            }
+            if e.sharers == 0 {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// Iterates the processors in a sharer mask, ascending.
+    pub fn iter_mask(mask: u128) -> impl Iterator<Item = usize> {
+        (0..128).filter(move |p| mask & (1u128 << p) != 0)
+    }
+
+    /// Number of tracked (cached-somewhere) lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_readers_accumulate() {
+        let mut d = Directory::new();
+        assert_eq!(d.acquire(1, 0, LineState::Shared), 0);
+        assert_eq!(d.acquire(1, 1, LineState::Shared), 0);
+        let e = d.entry(1);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.owner, None);
+    }
+
+    #[test]
+    fn modified_invalidates_others() {
+        let mut d = Directory::new();
+        d.acquire(1, 0, LineState::Shared);
+        d.acquire(1, 1, LineState::Shared);
+        d.acquire(1, 2, LineState::Shared);
+        let victims = d.acquire(1, 1, LineState::Modified);
+        assert_eq!(victims, 0b101);
+        let e = d.entry(1);
+        assert_eq!(e.sharers, 0b010);
+        assert_eq!(e.owner, Some(1));
+    }
+
+    #[test]
+    fn modified_by_sole_sharer_invalidates_nobody() {
+        let mut d = Directory::new();
+        d.acquire(1, 3, LineState::Shared);
+        assert_eq!(d.acquire(1, 3, LineState::Modified), 0);
+        assert_eq!(d.entry(1).owner, Some(3));
+    }
+
+    #[test]
+    fn reader_downgrades_owner() {
+        let mut d = Directory::new();
+        d.acquire(1, 0, LineState::Modified);
+        assert_eq!(d.acquire(1, 1, LineState::Shared), 0);
+        let e = d.entry(1);
+        assert_eq!(e.owner, None);
+        assert_eq!(e.sharers, 0b11);
+    }
+
+    #[test]
+    fn release_clears_and_prunes() {
+        let mut d = Directory::new();
+        d.acquire(1, 0, LineState::Modified);
+        d.release(1, 0);
+        assert!(d.is_empty());
+        assert_eq!(d.entry(1), DirEntry::default());
+    }
+
+    #[test]
+    fn release_nonresident_is_noop() {
+        let mut d = Directory::new();
+        d.acquire(1, 0, LineState::Shared);
+        d.release(1, 5);
+        assert_eq!(d.entry(1).sharers, 1);
+    }
+
+    #[test]
+    fn iter_mask_lists_bits() {
+        let bits: Vec<usize> = Directory::iter_mask(0b1010_0001).collect();
+        assert_eq!(bits, vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn uncached_entry_is_default() {
+        let d = Directory::new();
+        assert_eq!(d.entry(42), DirEntry::default());
+        assert_eq!(d.entry(42).others(3), 0);
+    }
+}

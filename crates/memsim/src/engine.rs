@@ -1,0 +1,500 @@
+//! The serialized discrete-event executor.
+//!
+//! Every simulated processor runs on an OS thread, but only as a convenience
+//! for writing straight-line kernel code: the engine (running on the caller's
+//! thread) admits exactly one memory operation at a time, chosen as the
+//! pending request with the smallest `(issue time, pid)`. Because a processor
+//! blocks on every operation and computes deterministically between them, the
+//! whole simulation is a pure function of (machine parameters, program) —
+//! host scheduling cannot influence results.
+//!
+//! ## Timing model
+//!
+//! * Cache hit: `hit_cycles`, no shared resource.
+//! * Miss / upgrade / remote RMW: one interconnect transaction
+//!   ([`crate::interconnect::Interconnect::transaction`]) plus `inv_cycles`
+//!   per remote copy invalidated.
+//! * `spin_while` / `spin_until`: one probe, then the processor sleeps on a
+//!   *watchpoint* until a write actually changes the watched word. Each wake
+//!   re-probe is charged as a real coherence miss, which is what produces the
+//!   invalidation-storm behaviour of test-and-test-and-set locks.
+//!
+//! One documented simplification: wake re-probes are scheduled immediately
+//! after the write that triggered them (they "win the bus"), even if another
+//! processor had an earlier-issued operation still pending. This mirrors how
+//! an invalidation burst monopolizes a real bus and keeps the engine simple.
+
+use crate::cache::{Cache, LineState};
+use crate::directory::Directory;
+use crate::interconnect::Interconnect;
+use crate::metrics::Metrics;
+use crate::params::MachineParams;
+use crate::{Addr, SimError, Word};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// Predicate a sleeping processor is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitPred {
+    /// Sleep while the word equals the value (wake when it differs).
+    WhileEq(Word),
+    /// Sleep until the word equals the value.
+    UntilEq(Word),
+}
+
+impl WaitPred {
+    fn satisfied(self, current: Word) -> bool {
+        match self {
+            WaitPred::WhileEq(v) => current != v,
+            WaitPred::UntilEq(v) => current == v,
+        }
+    }
+}
+
+/// One memory/timing operation submitted by a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    Load(Addr),
+    Store(Addr, Word),
+    Swap(Addr, Word),
+    Cas(Addr, Word, Word),
+    FetchAdd(Addr, Word),
+    Spin(Addr, WaitPred),
+    Delay(u64),
+    Done,
+    /// The processor's closure panicked; the payload is kept thread-side.
+    Panicked,
+}
+
+/// A submitted request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Request {
+    pub pid: usize,
+    /// The processor's local clock when it issued the operation.
+    pub issue: u64,
+    pub op: Op,
+}
+
+/// Engine → processor response.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Reply {
+    /// Operation result (old value for RMWs, observed value for loads/spins).
+    pub value: Word,
+    /// The processor's new local clock.
+    pub now: u64,
+    /// When set, the simulation is being torn down; the processor must unwind.
+    pub abort: bool,
+}
+
+/// Access classes with distinct coherence behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    Read,
+    Write,
+    Rmw,
+}
+
+#[derive(Debug)]
+enum ProcState {
+    /// Owes the engine a request.
+    Running,
+    /// Submitted, not yet executed.
+    Pending(Request),
+    /// Parked on a watchpoint.
+    Waiting {
+        addr: Addr,
+        pred: WaitPred,
+        /// Local clock while parked (advanced by charged re-probes).
+        clock: u64,
+        /// When the processor went to sleep, for spin-wait accounting.
+        sleep_start: u64,
+    },
+    Done,
+}
+
+/// The discrete-event executor. Constructed per run by [`crate::Machine`].
+pub(crate) struct Engine {
+    params: MachineParams,
+    memory: Vec<Word>,
+    caches: Vec<Cache>,
+    dir: Directory,
+    net: Interconnect,
+    pub(crate) metrics: Metrics,
+    states: Vec<ProcState>,
+    /// addr → pids parked on it (details live in `states`).
+    watchers: HashMap<Addr, Vec<usize>>,
+    /// Number of processors currently owing a request.
+    outstanding: usize,
+    req_rx: Receiver<Request>,
+    reply_tx: Vec<Sender<Reply>>,
+    /// Set when a processor thread reported a panic; the machine re-raises.
+    pub(crate) user_panicked: bool,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        params: MachineParams,
+        init_memory: Vec<Word>,
+        nprocs: usize,
+        req_rx: Receiver<Request>,
+        reply_tx: Vec<Sender<Reply>>,
+    ) -> Self {
+        params.validate();
+        assert!((1..=128).contains(&nprocs), "1..=128 processors supported");
+        let net = Interconnect::new(&params);
+        Engine {
+            caches: (0..nprocs).map(|_| Cache::new(params.cache_lines)).collect(),
+            dir: Directory::new(),
+            net,
+            metrics: Metrics::new(nprocs),
+            states: (0..nprocs).map(|_| ProcState::Running).collect(),
+            watchers: HashMap::new(),
+            outstanding: nprocs,
+            req_rx,
+            reply_tx,
+            memory: init_memory,
+            user_panicked: false,
+            params,
+        }
+    }
+
+    /// Final memory image, consumed after the run.
+    pub(crate) fn into_memory(self) -> (Metrics, Vec<Word>) {
+        (self.metrics, self.memory)
+    }
+
+    /// Runs the simulation to completion.
+    pub(crate) fn run_loop(&mut self) -> Result<(), SimError> {
+        loop {
+            // Conservative PDES: nobody executes until every running
+            // processor has told us what it does next.
+            while self.outstanding > 0 {
+                let req = self
+                    .req_rx
+                    .recv()
+                    .expect("processor thread vanished without Done");
+                self.outstanding -= 1;
+                match req.op {
+                    Op::Done => {
+                        self.metrics.per_proc[req.pid].finish_time = req.issue;
+                        self.metrics.total_cycles = self.metrics.total_cycles.max(req.issue);
+                        self.states[req.pid] = ProcState::Done;
+                    }
+                    Op::Panicked => {
+                        self.user_panicked = true;
+                        self.abort_all();
+                        // Not a SimError: the machine re-raises the payload.
+                        return Ok(());
+                    }
+                    _ => self.states[req.pid] = ProcState::Pending(req),
+                }
+            }
+
+            // Pick the pending request with the smallest (issue, pid).
+            let next = self
+                .states
+                .iter()
+                .enumerate()
+                .filter_map(|(pid, s)| match s {
+                    ProcState::Pending(r) => Some((r.issue, pid)),
+                    _ => None,
+                })
+                .min();
+
+            let Some((_, pid)) = next else {
+                // No pending work. Either everyone is done, or the remainder
+                // are all parked on watchpoints: deadlock.
+                let waiting: Vec<(usize, Addr, Word)> = self
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pid, s)| match s {
+                        ProcState::Waiting { addr, pred, .. } => {
+                            let shown = match pred {
+                                WaitPred::WhileEq(v) => *v,
+                                WaitPred::UntilEq(v) => !*v,
+                            };
+                            Some((pid, *addr, shown))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if waiting.is_empty() {
+                    return Ok(());
+                }
+                self.abort_all();
+                return Err(SimError::Deadlock { waiting });
+            };
+
+            let ProcState::Pending(req) = std::mem::replace(&mut self.states[pid], ProcState::Running)
+            else {
+                unreachable!("selected pid was Pending");
+            };
+            if let Err(e) = self.execute(req) {
+                self.abort_all();
+                return Err(e);
+            }
+        }
+    }
+
+    fn execute(&mut self, req: Request) -> Result<(), SimError> {
+        let pid = req.pid;
+        // Validate addresses up front so a stray kernel bug surfaces as a
+        // structured fault instead of an engine panic.
+        let touched = match req.op {
+            Op::Load(a)
+            | Op::Store(a, _)
+            | Op::Swap(a, _)
+            | Op::Cas(a, _, _)
+            | Op::FetchAdd(a, _)
+            | Op::Spin(a, _) => Some(a),
+            Op::Delay(_) | Op::Done | Op::Panicked => None,
+        };
+        if let Some(addr) = touched {
+            if addr >= self.memory.len() {
+                return Err(SimError::Fault { pid, addr });
+            }
+        }
+        let (value, done) = match req.op {
+            Op::Load(addr) => {
+                self.metrics.per_proc[pid].loads += 1;
+                let t = self.access(pid, addr, AccessKind::Read, req.issue);
+                (self.memory[addr], t)
+            }
+            Op::Store(addr, val) => {
+                self.metrics.per_proc[pid].stores += 1;
+                let t = self.access(pid, addr, AccessKind::Write, req.issue);
+                let t = self.commit_write(pid, addr, val, t);
+                (0, t)
+            }
+            Op::Swap(addr, val) => {
+                self.metrics.per_proc[pid].rmws += 1;
+                let t = self.access(pid, addr, AccessKind::Rmw, req.issue);
+                let old = self.memory[addr];
+                let t = self.commit_write(pid, addr, val, t);
+                (old, t)
+            }
+            Op::Cas(addr, expected, new) => {
+                self.metrics.per_proc[pid].rmws += 1;
+                // CAS acquires ownership before it can compare — failures
+                // cost the same interconnect traffic as successes.
+                let t = self.access(pid, addr, AccessKind::Rmw, req.issue);
+                let old = self.memory[addr];
+                let t = if old == expected {
+                    self.commit_write(pid, addr, new, t)
+                } else {
+                    t
+                };
+                (old, t)
+            }
+            Op::FetchAdd(addr, delta) => {
+                self.metrics.per_proc[pid].rmws += 1;
+                let t = self.access(pid, addr, AccessKind::Rmw, req.issue);
+                let old = self.memory[addr];
+                let t = self.commit_write(pid, addr, old.wrapping_add(delta), t);
+                (old, t)
+            }
+            Op::Spin(addr, pred) => {
+                // Initial probe, charged like a load.
+                self.metrics.per_proc[pid].loads += 1;
+                let t = self.access(pid, addr, AccessKind::Read, req.issue);
+                let cur = self.memory[addr];
+                if pred.satisfied(cur) {
+                    (cur, t)
+                } else {
+                    self.states[pid] = ProcState::Waiting {
+                        addr,
+                        pred,
+                        clock: t,
+                        sleep_start: t,
+                    };
+                    self.watchers.entry(addr).or_default().push(pid);
+                    // No reply yet; the processor stays parked.
+                    return self.check_time(t);
+                }
+            }
+            Op::Delay(cycles) => (0, req.issue.saturating_add(cycles)),
+            Op::Done | Op::Panicked => unreachable!("handled at submission"),
+        };
+        self.reply(pid, value, done);
+        self.check_time(done)
+    }
+
+    fn check_time(&self, t: u64) -> Result<(), SimError> {
+        if t > self.params.max_cycles {
+            Err(SimError::TimeLimit {
+                limit: self.params.max_cycles,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn reply(&mut self, pid: usize, value: Word, now: u64) {
+        self.states[pid] = ProcState::Running;
+        self.outstanding += 1;
+        let _ = self.reply_tx[pid].send(Reply {
+            value,
+            now,
+            abort: false,
+        });
+    }
+
+    fn abort_all(&mut self) {
+        for pid in 0..self.states.len() {
+            if !matches!(self.states[pid], ProcState::Done) {
+                let _ = self.reply_tx[pid].send(Reply {
+                    value: 0,
+                    now: 0,
+                    abort: true,
+                });
+            }
+        }
+    }
+
+    /// Performs the coherence side of an access; returns its completion time.
+    fn access(&mut self, pid: usize, addr: Addr, kind: AccessKind, issue: u64) -> u64 {
+        debug_assert!(addr < self.memory.len(), "execute() validates addresses");
+        let line = self.params.line_of(addr);
+        let state = self.caches[pid].state(line);
+        let m = &mut self.metrics.per_proc[pid];
+        match kind {
+            AccessKind::Read => {
+                if state.is_some() {
+                    m.hits += 1;
+                    self.caches[pid].touch(line);
+                    return issue + self.params.hit_cycles;
+                }
+                m.misses += 1;
+                self.metrics.interconnect_transactions += 1;
+                let entry = self.dir.entry(line);
+                // A dirty remote copy is downgraded (its data is written back
+                // as part of this same transaction).
+                if let Some(owner) = entry.owner {
+                    self.caches[owner].downgrade(line);
+                }
+                let done = self.net.transaction(
+                    issue,
+                    self.params.node_of_proc(pid),
+                    self.params.home_node(line),
+                    0,
+                );
+                self.dir.acquire(line, pid, LineState::Shared);
+                self.install(pid, line, LineState::Shared);
+                done
+            }
+            AccessKind::Write | AccessKind::Rmw => {
+                let rmw_extra = if kind == AccessKind::Rmw {
+                    self.params.rmw_extra_cycles
+                } else {
+                    0
+                };
+                if state == Some(LineState::Modified) {
+                    m.hits += 1;
+                    self.caches[pid].touch(line);
+                    return issue + self.params.hit_cycles + rmw_extra;
+                }
+                let entry = self.dir.entry(line);
+                let victims = entry.others(pid);
+                let nvictims = victims.count_ones() as u64;
+                if state == Some(LineState::Shared) {
+                    m.upgrades += 1;
+                } else {
+                    m.misses += 1;
+                }
+                self.metrics.interconnect_transactions += 1;
+                self.metrics.invalidations += nvictims;
+                for v in Directory::iter_mask(victims) {
+                    self.caches[v].invalidate(line);
+                }
+                let done = self.net.transaction(
+                    issue,
+                    self.params.node_of_proc(pid),
+                    self.params.home_node(line),
+                    self.params.inv_cycles * nvictims + rmw_extra,
+                );
+                self.dir.acquire(line, pid, LineState::Modified);
+                self.install(pid, line, LineState::Modified);
+                done
+            }
+        }
+    }
+
+    /// Inserts a line into a private cache, accounting for evictions.
+    fn install(&mut self, pid: usize, line: usize, state: LineState) {
+        let ins = self.caches[pid].insert(line, state);
+        if let Some((victim, dirty)) = ins.evicted {
+            self.dir.release(victim, pid);
+            if dirty {
+                self.metrics.writebacks += 1;
+            }
+        }
+    }
+
+    /// Writes the value, then wakes watchers whose predicate now holds.
+    /// Returns the (unchanged) completion time of the triggering write.
+    fn commit_write(&mut self, _pid: usize, addr: Addr, val: Word, done_at: u64) -> u64 {
+        let changed = self.memory[addr] != val;
+        self.memory[addr] = val;
+        if changed {
+            self.wake_watchers(addr, done_at);
+        }
+        done_at
+    }
+
+    /// Re-probes every processor parked on `addr`, in pid order. Watchers
+    /// whose predicate holds are released; the rest pay the probe and park
+    /// again (their line was invalidated by the triggering write).
+    fn wake_watchers(&mut self, addr: Addr, write_done: u64) {
+        let Some(pids) = self.watchers.remove(&addr) else {
+            return;
+        };
+        let mut still_waiting = Vec::new();
+        for pid in pids {
+            let ProcState::Waiting {
+                pred,
+                clock,
+                sleep_start,
+                ..
+            } = self.states[pid]
+            else {
+                unreachable!("watcher list out of sync for p{pid}");
+            };
+            // The spinner re-probes as soon as it observes the invalidation.
+            let issue = clock.max(write_done);
+            self.metrics.per_proc[pid].loads += 1;
+            let t = self.access(pid, addr, AccessKind::Read, issue);
+            let cur = self.memory[addr];
+            if pred.satisfied(cur) {
+                self.metrics.per_proc[pid].wakeups += 1;
+                self.metrics.per_proc[pid].spin_wait_cycles +=
+                    t.saturating_sub(sleep_start);
+                self.reply(pid, cur, t);
+            } else {
+                self.states[pid] = ProcState::Waiting {
+                    addr,
+                    pred,
+                    clock: t,
+                    sleep_start,
+                };
+                still_waiting.push(pid);
+            }
+        }
+        if !still_waiting.is_empty() {
+            self.watchers.entry(addr).or_default().extend(still_waiting);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_pred_semantics() {
+        assert!(!WaitPred::WhileEq(3).satisfied(3));
+        assert!(WaitPred::WhileEq(3).satisfied(4));
+        assert!(WaitPred::UntilEq(3).satisfied(3));
+        assert!(!WaitPred::UntilEq(3).satisfied(4));
+    }
+}

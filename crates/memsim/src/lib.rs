@@ -1,0 +1,119 @@
+//! # memsim — a simulated 1991-class shared-memory multiprocessor
+//!
+//! The evaluation of *"A New Synchronization Mechanism"* (ICPP 1991) was run on
+//! hardware of its day: a bus-based cache-coherent multiprocessor (Sequent
+//! Symmetry class) and a distributed-memory NUMA machine (BBN Butterfly class).
+//! Neither exists here — the host has one core — so this crate provides the
+//! substitute substrate: a deterministic discrete-event simulator that models
+//! exactly the quantities those papers measured:
+//!
+//! * **per-processor caches** with a write-invalidate MSI protocol
+//!   ([`cache`], [`directory`]),
+//! * a **shared bus** with FIFO arbitration, or a **NUMA interconnect** with
+//!   per-node memory modules and hop latency ([`interconnect`]),
+//! * **atomic read-modify-write** operations that obey the same ownership
+//!   rules real coherence protocols impose ([`engine`]),
+//! * full **traffic accounting** — hits, misses, upgrades, invalidations and
+//!   interconnect transactions ([`metrics`]).
+//!
+//! ## Programming model
+//!
+//! A *processor program* is an ordinary Rust closure receiving a [`Proc`]
+//! handle with `load` / `store` / `swap` / `cas` / `fetch_add` /
+//! `test_and_set` / `spin_while` / `delay` operations on a word-addressed
+//! shared memory. Each simulated processor runs on its own OS thread, but the
+//! engine fully serializes execution — at most one processor advances between
+//! memory events, ties broken by `(issue time, pid)` — so every run is
+//! **bit-for-bit deterministic** regardless of host scheduling.
+//!
+//! ```
+//! use memsim::{Machine, MachineParams};
+//!
+//! // Two processors atomically increment a shared counter 100 times each.
+//! let machine = Machine::new(MachineParams::bus_1991(2));
+//! let report = machine
+//!     .run(2, 1, |p| {
+//!         for _ in 0..100 {
+//!             p.fetch_add(0, 1);
+//!         }
+//!     })
+//!     .unwrap();
+//! assert_eq!(report.memory[0], 200);
+//! assert!(report.metrics.total_cycles > 0);
+//! ```
+//!
+//! ## Why local spinning is a first-class operation
+//!
+//! [`Proc::spin_while`] registers a *watchpoint*: the spinner is charged one
+//! initial probe, then sleeps until an invalidation actually touches the
+//! watched word, at which point it pays the re-probe (a real coherence miss).
+//! This is both how 1991 hardware behaved (spinning on a cached copy is free
+//! until the line is invalidated) and what keeps simulation cost proportional
+//! to coherence events rather than spin iterations.
+
+pub mod cache;
+pub mod directory;
+pub mod engine;
+pub mod interconnect;
+pub mod machine;
+pub mod metrics;
+pub mod params;
+pub mod proc;
+
+pub use machine::{Machine, RunReport};
+pub use metrics::{Metrics, ProcMetrics};
+pub use params::{MachineParams, Topology};
+pub use proc::Proc;
+
+/// A machine word. The simulated memory is an array of these.
+pub type Word = u64;
+
+/// A word address into the simulated shared memory.
+pub type Addr = usize;
+
+/// Errors terminating a simulation early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Every live processor is blocked in `spin_while` and no writer remains:
+    /// the synchronization algorithm under test has deadlocked.
+    Deadlock {
+        /// Processors stuck in a watchpoint, with the address and the value
+        /// they are waiting to see change.
+        waiting: Vec<(usize, Addr, Word)>,
+    },
+    /// Simulated time exceeded [`params::MachineParams::max_cycles`]; the
+    /// algorithm under test is livelocked or the experiment is simply too long.
+    TimeLimit {
+        /// The configured limit that was exceeded.
+        limit: u64,
+    },
+    /// A processor accessed a word outside the shared memory.
+    Fault {
+        /// The faulting processor.
+        pid: usize,
+        /// The out-of-bounds word address.
+        addr: Addr,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { waiting } => {
+                write!(f, "simulated deadlock; waiting processors: ")?;
+                for (pid, addr, val) in waiting {
+                    write!(f, "[p{pid} spins while mem[{addr}]=={val}] ")?;
+                }
+                Ok(())
+            }
+            SimError::TimeLimit { limit } => {
+                write!(f, "simulated time exceeded the {limit}-cycle limit")
+            }
+            SimError::Fault { pid, addr } => {
+                write!(f, "processor {pid} accessed out-of-bounds word {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

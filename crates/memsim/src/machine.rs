@@ -1,0 +1,404 @@
+//! The machine: thread orchestration around the engine.
+
+use crate::engine::{Engine, Reply, Request};
+use crate::metrics::Metrics;
+use crate::params::MachineParams;
+use crate::proc::{Proc, SimAbort};
+use crate::{SimError, Word};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Traffic and timing counters.
+    pub metrics: Metrics,
+    /// Final contents of the shared memory, for invariant checks.
+    pub memory: Vec<Word>,
+}
+
+/// A configured simulated multiprocessor.
+///
+/// `Machine` is cheap to construct and immutable; every [`Machine::run`]
+/// creates fresh caches, directory, interconnect and memory, so runs never
+/// contaminate each other.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    params: MachineParams,
+}
+
+impl Machine {
+    /// Creates a machine with the given parameters (validated on first run).
+    pub fn new(params: MachineParams) -> Self {
+        Machine { params }
+    }
+
+    /// The machine's parameters.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Runs `body` once per processor over a zero-initialized shared memory
+    /// of `shared_words` words.
+    ///
+    /// `body` receives the processor handle; it is invoked concurrently from
+    /// `nprocs` OS threads but the engine serializes all memory operations
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if all unfinished processors are parked on
+    /// watchpoints; [`SimError::TimeLimit`] if simulated time exceeds
+    /// [`MachineParams::max_cycles`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from `body` (so `assert!` works inside kernels),
+    /// and panics on invalid configuration.
+    pub fn run<F>(&self, nprocs: usize, shared_words: usize, body: F) -> Result<RunReport, SimError>
+    where
+        F: Fn(&mut Proc) + Send + Sync,
+    {
+        self.run_with_init(nprocs, vec![0; shared_words], body)
+    }
+
+    /// Like [`Machine::run`] but with explicit initial memory contents.
+    pub fn run_with_init<F>(
+        &self,
+        nprocs: usize,
+        init_memory: Vec<Word>,
+        body: F,
+    ) -> Result<RunReport, SimError>
+    where
+        F: Fn(&mut Proc) + Send + Sync,
+    {
+        // The abort path unwinds processor threads with a sentinel payload;
+        // filter it out of panic reporting once, process-wide.
+        install_simabort_hook();
+
+        let (req_tx, req_rx) = mpsc::channel::<Request>();
+        let mut reply_txs = Vec::with_capacity(nprocs);
+        let mut reply_rxs = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let (tx, rx) = mpsc::channel::<Reply>();
+            reply_txs.push(tx);
+            reply_rxs.push(rx);
+        }
+        let mut engine = Engine::new(self.params.clone(), init_memory, nprocs, req_rx, reply_txs);
+        let body = &body;
+
+        let (result, panics) = std::thread::scope(|scope| {
+            let handles: Vec<_> = reply_rxs
+                .drain(..)
+                .enumerate()
+                .map(|(pid, reply_rx)| {
+                    let req_tx = req_tx.clone();
+                    scope.spawn(move || {
+                        let mut proc = Proc::new(pid, nprocs, req_tx, reply_rx);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut proc)));
+                        match outcome {
+                            Ok(()) => proc.send_done(),
+                            Err(payload) => {
+                                if payload.downcast_ref::<SimAbort>().is_none() {
+                                    // A genuine user panic: tell the engine so
+                                    // it can release the other processors,
+                                    // then hand the payload to the joiner.
+                                    proc.send_panicked();
+                                    resume_unwind(payload);
+                                }
+                                // SimAbort: unwound deliberately; exit quietly.
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // The original sender must drop so a dead engine is detectable.
+            drop(req_tx);
+
+            let result = engine.run_loop();
+            let panics: Vec<_> = handles
+                .into_iter()
+                .filter_map(|h| h.join().err())
+                .collect();
+            (result, panics)
+        });
+
+        if let Some(payload) = panics.into_iter().next() {
+            resume_unwind(payload);
+        }
+        result?;
+        let (metrics, memory) = engine.into_memory();
+        Ok(RunReport { metrics, memory })
+    }
+}
+
+/// Installs (once) a panic hook that suppresses the internal [`SimAbort`]
+/// sentinel while delegating every real panic to the previous hook.
+fn install_simabort_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Topology;
+
+    fn bus(n: usize) -> Machine {
+        Machine::new(MachineParams::bus_1991(n))
+    }
+
+    #[test]
+    fn single_proc_load_store() {
+        let report = bus(1)
+            .run(1, 4, |p| {
+                p.store(0, 7);
+                assert_eq!(p.load(0), 7);
+                p.store(3, 9);
+                assert_eq!(p.load(3), 9);
+            })
+            .unwrap();
+        assert_eq!(report.memory, vec![7, 0, 0, 9]);
+        assert!(report.metrics.total_cycles > 0);
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_across_procs() {
+        let report = bus(8)
+            .run(8, 1, |p| {
+                for _ in 0..50 {
+                    p.fetch_add(0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[0], 400);
+    }
+
+    #[test]
+    fn swap_returns_old_value() {
+        let report = bus(1)
+            .run(1, 1, |p| {
+                assert_eq!(p.swap(0, 5), 0);
+                assert_eq!(p.swap(0, 9), 5);
+            })
+            .unwrap();
+        assert_eq!(report.memory[0], 9);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        bus(1)
+            .run(1, 1, |p| {
+                assert_eq!(p.cas(0, 0, 3), Ok(0));
+                assert_eq!(p.cas(0, 0, 7), Err(3));
+                assert_eq!(p.load(0), 3);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn test_and_set_reports_prior_state() {
+        bus(1)
+            .run(1, 1, |p| {
+                assert!(!p.test_and_set(0));
+                assert!(p.test_and_set(0));
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn spin_until_crosses_processors() {
+        // p0 waits for p1's signal; p1 delays first so the wait really parks.
+        let report = bus(2)
+            .run(2, 2, |p| {
+                if p.pid() == 0 {
+                    p.spin_until(0, 1);
+                    p.store(1, 42);
+                } else {
+                    p.delay(500);
+                    p.store(0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[1], 42);
+        assert_eq!(report.metrics.wakeups(), 1);
+        assert!(report.metrics.per_proc[0].spin_wait_cycles > 0);
+    }
+
+    #[test]
+    fn spin_while_returns_changed_value() {
+        bus(2)
+            .run(2, 1, |p| {
+                if p.pid() == 0 {
+                    let seen = p.spin_while(0, 0);
+                    assert_eq!(seen, 77);
+                } else {
+                    p.delay(100);
+                    p.store(0, 77);
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn spin_satisfied_immediately_does_not_park() {
+        let report = bus(1)
+            .run_with_init(1, vec![5], |p| {
+                assert_eq!(p.spin_while(0, 0), 5);
+                p.spin_until(0, 5);
+            })
+            .unwrap();
+        assert_eq!(report.metrics.wakeups(), 0);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let err = bus(2)
+            .run(2, 1, |p| {
+                p.spin_until(0, 1); // nobody ever stores 1
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { waiting } => assert_eq!(waiting.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_limit_enforced() {
+        let mut params = MachineParams::bus_1991(1);
+        params.max_cycles = 1000;
+        let err = Machine::new(params)
+            .run(1, 1, |p| {
+                for _ in 0..100 {
+                    p.delay(100);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::TimeLimit { limit: 1000 });
+    }
+
+    #[test]
+    fn user_panic_propagates() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = bus(2).run(2, 1, |p| {
+                if p.pid() == 1 {
+                    panic!("kernel bug");
+                }
+                // p0 parks forever; the abort must release it.
+                p.spin_until(0, 1);
+            });
+        }));
+        let payload = outcome.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "kernel bug");
+    }
+
+    #[test]
+    fn determinism_same_seedless_program() {
+        let run = || {
+            bus(4)
+                .run(4, 2, |p| {
+                    for i in 0..20 {
+                        p.fetch_add(0, p.pid() as u64 + i);
+                        p.delay((p.pid() as u64 * 7) % 13);
+                        p.store(1, p.pid() as u64);
+                    }
+                })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.memory, b.memory);
+    }
+
+    #[test]
+    fn cached_reads_hit_after_first_miss() {
+        let report = bus(1)
+            .run(1, 1, |p| {
+                p.load(0);
+                for _ in 0..9 {
+                    p.load(0);
+                }
+            })
+            .unwrap();
+        let m = &report.metrics.per_proc[0];
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.hits, 9);
+    }
+
+    #[test]
+    fn write_invalidates_reader() {
+        let report = bus(2)
+            .run(2, 1, |p| {
+                if p.pid() == 0 {
+                    p.load(0); // cache the line shared
+                    p.delay(1000);
+                    p.load(0); // must miss again after p1's write
+                } else {
+                    p.delay(500);
+                    p.store(0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.metrics.per_proc[0].misses, 2);
+        assert!(report.metrics.invalidations >= 1);
+    }
+
+    #[test]
+    fn sharers_on_different_lines_do_not_interfere() {
+        let params = MachineParams::bus_1991(2);
+        let stride = params.line_words;
+        let report = Machine::new(params)
+            .run(2, stride * 2, move |p| {
+                let mine = p.pid() * stride;
+                for _ in 0..20 {
+                    p.store(mine, 1);
+                }
+            })
+            .unwrap();
+        // After the first miss each processor owns its own line: all hits.
+        assert_eq!(report.metrics.invalidations, 0);
+        for m in &report.metrics.per_proc {
+            assert_eq!(m.misses, 1);
+            assert_eq!(m.hits, 19);
+        }
+    }
+
+    #[test]
+    fn numa_machine_runs_and_counts_transactions() {
+        let machine = Machine::new(MachineParams::numa_1991(4));
+        assert!(matches!(
+            machine.params().topology,
+            Topology::Numa { .. }
+        ));
+        let report = machine
+            .run(4, 1, |p| {
+                for _ in 0..10 {
+                    p.fetch_add(0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[0], 40);
+        assert!(report.metrics.interconnect_transactions > 0);
+    }
+
+    #[test]
+    fn out_of_bounds_address_faults() {
+        let err = bus(1)
+            .run(1, 1, |p| {
+                p.load(5);
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::Fault { pid: 0, addr: 5 });
+    }
+}

@@ -1,0 +1,143 @@
+//! Traffic and timing counters.
+//!
+//! These counters are the simulator's *output*: fig3 reports
+//! [`Metrics::interconnect_transactions`] per critical section, fig1/fig2
+//! derive lock-passing time from [`Metrics::total_cycles`], and the
+//! per-processor breakdown feeds the fairness table.
+
+/// Counters for one simulated processor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcMetrics {
+    /// Plain loads issued.
+    pub loads: u64,
+    /// Plain stores issued.
+    pub stores: u64,
+    /// Atomic read-modify-writes issued (swap/cas/fetch_add/test_and_set).
+    pub rmws: u64,
+    /// Accesses satisfied by the private cache.
+    pub hits: u64,
+    /// Accesses that required an interconnect transaction to fetch the line.
+    pub misses: u64,
+    /// Writes that hit a Shared line and had to invalidate other copies.
+    pub upgrades: u64,
+    /// Times this processor was woken from a `spin_while` watchpoint.
+    pub wakeups: u64,
+    /// Cycles spent blocked inside `spin_while`.
+    pub spin_wait_cycles: u64,
+    /// This processor's final local clock.
+    pub finish_time: u64,
+}
+
+impl ProcMetrics {
+    /// Total memory operations issued (loads + stores + RMWs).
+    pub fn ops(&self) -> u64 {
+        self.loads + self.stores + self.rmws
+    }
+}
+
+/// Whole-machine counters plus the per-processor breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Per-processor counters, indexed by pid.
+    pub per_proc: Vec<ProcMetrics>,
+    /// Interconnect transactions: bus occupancies on the bus machine, memory
+    /// module requests on the NUMA machine. The currency of fig3.
+    pub interconnect_transactions: u64,
+    /// Total invalidation messages sent to remote sharers.
+    pub invalidations: u64,
+    /// Write-backs caused by capacity evictions of Modified lines.
+    pub writebacks: u64,
+    /// Simulated time at which the last processor finished.
+    pub total_cycles: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        Metrics {
+            per_proc: vec![ProcMetrics::default(); nprocs],
+            ..Metrics::default()
+        }
+    }
+
+    /// Sum of loads across processors.
+    pub fn loads(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.loads).sum()
+    }
+
+    /// Sum of stores across processors.
+    pub fn stores(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.stores).sum()
+    }
+
+    /// Sum of RMWs across processors.
+    pub fn rmws(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.rmws).sum()
+    }
+
+    /// Sum of cache hits across processors.
+    pub fn hits(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.hits).sum()
+    }
+
+    /// Sum of cache misses across processors.
+    pub fn misses(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.misses).sum()
+    }
+
+    /// Sum of watchpoint wakeups across processors.
+    pub fn wakeups(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.wakeups).sum()
+    }
+
+    /// Global cache hit rate in `[0, 1]`; 0 when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let m = Metrics::new(4);
+        assert_eq!(m.per_proc.len(), 4);
+        assert_eq!(m.loads(), 0);
+        assert_eq!(m.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_sums_processors() {
+        let mut m = Metrics::new(2);
+        m.per_proc[0].loads = 3;
+        m.per_proc[0].hits = 2;
+        m.per_proc[0].misses = 1;
+        m.per_proc[1].loads = 5;
+        m.per_proc[1].stores = 7;
+        m.per_proc[1].hits = 6;
+        m.per_proc[1].misses = 6;
+        assert_eq!(m.loads(), 8);
+        assert_eq!(m.stores(), 7);
+        assert_eq!(m.hits(), 8);
+        assert_eq!(m.misses(), 7);
+        assert!((m.hit_rate() - 8.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_counts_all_kinds() {
+        let p = ProcMetrics {
+            loads: 1,
+            stores: 2,
+            rmws: 3,
+            ..ProcMetrics::default()
+        };
+        assert_eq!(p.ops(), 6);
+    }
+}

@@ -1,0 +1,201 @@
+//! Machine configuration.
+//!
+//! The parameters mirror the knobs 1991-era simulation studies report: cache
+//! geometry, the relative cost of a cache hit versus an interconnect
+//! transaction, and the interconnect topology. Absolute values follow the
+//! conventional ratios of the period (hit = 1 cycle, bus transaction ≈ 20,
+//! remote NUMA reference ≈ 2–4× a local one); the reproduction targets curve
+//! *shapes*, which are insensitive to modest changes in these constants —
+//! `fig7`'s ablation run demonstrates that.
+
+/// Interconnect topology of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// A single split-transaction bus with FIFO arbitration (Sequent
+    /// Symmetry class). Every miss, upgrade, and remote RMW occupies the bus.
+    Bus,
+    /// A distributed machine with one memory module per node and a
+    /// point-to-point network (BBN Butterfly class). Lines are interleaved
+    /// across modules; processors are assigned to nodes round-robin.
+    Numa {
+        /// Number of nodes (= memory modules). Must be nonzero.
+        nodes: usize,
+    },
+}
+
+/// Full description of a simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineParams {
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Words per cache line (power of two). Synchronization variables that the
+    /// kernels intend to keep apart are padded to this granularity.
+    pub line_words: usize,
+    /// Lines per private cache. Tiny synchronization working sets never
+    /// approach this, but capacity evictions are modeled (LRU) for fidelity.
+    pub cache_lines: usize,
+    /// Cost of an access that hits in the private cache.
+    pub hit_cycles: u64,
+    /// Occupancy of one bus transaction (miss fill, upgrade, remote RMW) on
+    /// the [`Topology::Bus`] machine. Transactions serialize.
+    pub bus_cycles: u64,
+    /// Service time of a memory module on the [`Topology::Numa`] machine.
+    /// Requests to the same module serialize.
+    pub mem_cycles: u64,
+    /// One-way network traversal cost between distinct NUMA nodes; a remote
+    /// reference pays two (request + reply).
+    pub hop_cycles: u64,
+    /// Additional cost charged per remote sharer that must be invalidated on
+    /// a write/upgrade (directory fan-out on NUMA; snoop response on the bus).
+    pub inv_cycles: u64,
+    /// Extra cost of an atomic read-modify-write over a plain access when the
+    /// line is already owned exclusively.
+    pub rmw_extra_cycles: u64,
+    /// Hard cap on simulated time; exceeded ⇒ [`crate::SimError::TimeLimit`].
+    pub max_cycles: u64,
+}
+
+impl MachineParams {
+    /// Bus-based cache-coherent multiprocessor with 1991-era cost ratios,
+    /// sized for `nprocs` processors.
+    pub fn bus_1991(nprocs: usize) -> Self {
+        let _ = nprocs; // geometry below is independent of P; kept for symmetry
+        MachineParams {
+            topology: Topology::Bus,
+            line_words: 8,
+            cache_lines: 1024,
+            hit_cycles: 1,
+            bus_cycles: 20,
+            mem_cycles: 0,
+            hop_cycles: 0,
+            inv_cycles: 2,
+            rmw_extra_cycles: 3,
+            max_cycles: u64::MAX / 4,
+        }
+    }
+
+    /// Distributed NUMA multiprocessor with 1991-era cost ratios: one node
+    /// per four processors (minimum two nodes), remote reference ≈ 3–4× local.
+    pub fn numa_1991(nprocs: usize) -> Self {
+        MachineParams {
+            topology: Topology::Numa {
+                nodes: (nprocs.div_ceil(4)).max(2),
+            },
+            line_words: 8,
+            cache_lines: 1024,
+            hit_cycles: 1,
+            bus_cycles: 0,
+            mem_cycles: 12,
+            hop_cycles: 10,
+            inv_cycles: 4,
+            rmw_extra_cycles: 3,
+            max_cycles: u64::MAX / 4,
+        }
+    }
+
+    /// Index of the cache line containing a word address.
+    pub fn line_of(&self, addr: usize) -> usize {
+        addr / self.line_words
+    }
+
+    /// Home node of a line under the NUMA interleaving (always 0 on a bus).
+    ///
+    /// Lines are *hash*-interleaved across modules rather than taken modulo
+    /// the node count: modular interleaving resonates with the strided flag
+    /// layouts of the tree/dissemination barriers (e.g. a stride of 12 lines
+    /// against 12 modules puts every processor's round-r flag on one module),
+    /// turning a layout accident into a synthetic hot spot. Hardware of the
+    /// era scrambled interleave bits for exactly this reason.
+    pub fn home_node(&self, line: usize) -> usize {
+        match self.topology {
+            Topology::Bus => 0,
+            Topology::Numa { nodes } => {
+                let h = (line as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 33) % nodes as u64) as usize
+            }
+        }
+    }
+
+    /// Node a processor resides on (always 0 on a bus).
+    pub fn node_of_proc(&self, pid: usize) -> usize {
+        match self.topology {
+            Topology::Bus => 0,
+            Topology::Numa { nodes } => pid % nodes,
+        }
+    }
+
+    /// Validates internal consistency; called by the machine constructor.
+    pub fn validate(&self) {
+        assert!(self.line_words.is_power_of_two(), "line_words must be a power of two");
+        assert!(self.cache_lines > 0, "cache must have at least one line");
+        if let Topology::Numa { nodes } = self.topology {
+            assert!(nodes > 0, "NUMA machine needs at least one node");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineParams::bus_1991(16).validate();
+        MachineParams::numa_1991(16).validate();
+    }
+
+    #[test]
+    fn numa_nodes_scale_with_procs() {
+        let p = MachineParams::numa_1991(32);
+        assert_eq!(p.topology, Topology::Numa { nodes: 8 });
+        let small = MachineParams::numa_1991(2);
+        assert_eq!(small.topology, Topology::Numa { nodes: 2 });
+    }
+
+    #[test]
+    fn line_mapping() {
+        let p = MachineParams::bus_1991(4);
+        assert_eq!(p.line_of(0), 0);
+        assert_eq!(p.line_of(7), 0);
+        assert_eq!(p.line_of(8), 1);
+    }
+
+    #[test]
+    fn bus_homes_everything_on_node_zero() {
+        let p = MachineParams::bus_1991(4);
+        assert_eq!(p.home_node(17), 0);
+        assert_eq!(p.node_of_proc(3), 0);
+    }
+
+    #[test]
+    fn numa_interleaves_lines_and_procs() {
+        let p = MachineParams::numa_1991(16); // 4 nodes
+        // Hash interleaving: homes are stable, in range, and balanced —
+        // and crucially, strided line sequences do not collapse onto one
+        // module (the resonance the hash exists to kill).
+        let mut per_node = vec![0usize; 4];
+        for line in 0..400 {
+            let home = p.home_node(line);
+            assert!(home < 4);
+            assert_eq!(home, p.home_node(line), "home must be stable");
+            per_node[home] += 1;
+        }
+        assert!(per_node.iter().all(|&c| c > 50), "imbalanced: {per_node:?}");
+        // Strided accesses (the dissemination layout) stay spread out.
+        let mut strided = std::collections::HashSet::new();
+        for k in 0..12 {
+            strided.insert(p.home_node(k * 12));
+        }
+        assert!(strided.len() >= 3, "stride-12 resonance: {strided:?}");
+        assert_eq!(p.node_of_proc(0), 0);
+        assert_eq!(p.node_of_proc(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_words_rejected() {
+        let mut p = MachineParams::bus_1991(2);
+        p.line_words = 3;
+        p.validate();
+    }
+}

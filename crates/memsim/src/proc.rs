@@ -1,0 +1,152 @@
+//! The processor handle passed to simulated programs.
+//!
+//! [`Proc`] is the entire instruction set a kernel may use: word loads and
+//! stores, the atomic read-modify-writes 1991 hardware offered (swap,
+//! compare-and-swap, fetch-and-add, test-and-set), watchpoint-based local
+//! spinning, and a local `delay`. Every method blocks the calling OS thread
+//! until the engine has scheduled the operation, so kernel code reads like
+//! ordinary sequential Rust.
+
+use crate::engine::{Op, Reply, Request, WaitPred};
+use crate::{Addr, Word};
+use std::sync::mpsc::{Receiver, Sender};
+
+/// Sentinel panic payload used to unwind processor threads when the engine
+/// aborts a simulation (deadlock, time limit, or a peer's panic). The machine
+/// layer swallows it; user panics propagate normally.
+pub(crate) struct SimAbort;
+
+/// Handle through which a simulated processor issues operations.
+pub struct Proc {
+    pid: usize,
+    nprocs: usize,
+    now: u64,
+    req_tx: Sender<Request>,
+    reply_rx: Receiver<Reply>,
+}
+
+impl Proc {
+    pub(crate) fn new(
+        pid: usize,
+        nprocs: usize,
+        req_tx: Sender<Request>,
+        reply_rx: Receiver<Reply>,
+    ) -> Self {
+        Proc {
+            pid,
+            nprocs,
+            now: 0,
+            req_tx,
+            reply_rx,
+        }
+    }
+
+    fn roundtrip(&mut self, op: Op) -> Word {
+        // A dead engine means the run was torn down; unwind quietly.
+        if self
+            .req_tx
+            .send(Request {
+                pid: self.pid,
+                issue: self.now,
+                op,
+            })
+            .is_err()
+        {
+            std::panic::panic_any(SimAbort);
+        }
+        match self.reply_rx.recv() {
+            Ok(Reply { abort: true, .. }) | Err(_) => std::panic::panic_any(SimAbort),
+            Ok(Reply { value, now, .. }) => {
+                self.now = now;
+                value
+            }
+        }
+    }
+
+    /// This processor's id in `0..nprocs`.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Number of processors in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// This processor's local clock, in simulated cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Reads a word.
+    pub fn load(&mut self, addr: Addr) -> Word {
+        self.roundtrip(Op::Load(addr))
+    }
+
+    /// Writes a word.
+    pub fn store(&mut self, addr: Addr, val: Word) {
+        self.roundtrip(Op::Store(addr, val));
+    }
+
+    /// Atomically writes `val` and returns the previous value.
+    pub fn swap(&mut self, addr: Addr, val: Word) -> Word {
+        self.roundtrip(Op::Swap(addr, val))
+    }
+
+    /// Atomic compare-and-swap: installs `new` iff the word equals
+    /// `expected`. Returns `Ok(old)` on success, `Err(observed)` on failure.
+    /// Failed CAS costs the same coherence traffic as a successful one.
+    pub fn cas(&mut self, addr: Addr, expected: Word, new: Word) -> Result<Word, Word> {
+        let old = self.roundtrip(Op::Cas(addr, expected, new));
+        if old == expected {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+
+    /// Atomic fetch-and-add (wrapping); returns the previous value.
+    pub fn fetch_add(&mut self, addr: Addr, delta: Word) -> Word {
+        self.roundtrip(Op::FetchAdd(addr, delta))
+    }
+
+    /// Atomic test-and-set: sets the word to 1, returns `true` if it was
+    /// already nonzero (i.e. the "lock" was held).
+    pub fn test_and_set(&mut self, addr: Addr) -> bool {
+        self.swap(addr, 1) != 0
+    }
+
+    /// Blocks while the word equals `val`; returns the first differing value
+    /// observed. The wait is a cached local spin: it costs one probe to
+    /// arm and one coherence miss per wake, not one access per iteration.
+    pub fn spin_while(&mut self, addr: Addr, val: Word) -> Word {
+        self.roundtrip(Op::Spin(addr, WaitPred::WhileEq(val)))
+    }
+
+    /// Blocks until the word equals `val`; returns it (i.e. `val`).
+    pub fn spin_until(&mut self, addr: Addr, val: Word) -> Word {
+        self.roundtrip(Op::Spin(addr, WaitPred::UntilEq(val)))
+    }
+
+    /// Advances the local clock by `cycles` without touching memory —
+    /// models computation, critical-section work, or backoff.
+    pub fn delay(&mut self, cycles: u64) {
+        self.roundtrip(Op::Delay(cycles));
+    }
+
+    pub(crate) fn send_done(&mut self) {
+        let _ = self.req_tx.send(Request {
+            pid: self.pid,
+            issue: self.now,
+            op: Op::Done,
+        });
+    }
+
+    pub(crate) fn send_panicked(&mut self) {
+        let _ = self.req_tx.send(Request {
+            pid: self.pid,
+            issue: self.now,
+            op: Op::Panicked,
+        });
+    }
+}

@@ -1,0 +1,25 @@
+//! # simcore — deterministic substrate utilities
+//!
+//! Shared foundation for every experiment in the `syncmech` reproduction of
+//! *"A New Synchronization Mechanism"* (ICPP 1991):
+//!
+//! * [`rng`] — a small, fully deterministic xoshiro256\*\* PRNG. Experiments must
+//!   be reproducible bit-for-bit from a seed, so we own the generator rather than
+//!   depending on an external crate whose stream might change between versions.
+//! * [`stats`] — running statistics (Welford), confidence intervals, histograms,
+//!   percentiles, and least-squares regression used to summarize simulator output.
+//! * [`table`] — plain-text table and CSV rendering for the figure/table binaries,
+//!   so every `figN`/`tableN` binary prints rows in the same format the paper's
+//!   evaluation section would.
+//! * [`series`] — labeled (x, y…) data series: the in-memory representation of a
+//!   "figure" before it is rendered.
+
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use rng::Rng;
+pub use series::Series;
+pub use stats::{Histogram, LinearFit, RunningStats};
+pub use table::Table;

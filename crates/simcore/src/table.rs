@@ -1,0 +1,209 @@
+//! Plain-text table and CSV rendering.
+//!
+//! Every `tableN`/`figN` binary prints its result twice: once as an aligned
+//! text table for reading in a terminal (the way the paper's tables read), and
+//! once as CSV (behind `--csv`) for plotting. Both come from [`Table`].
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::Table;
+/// let mut t = Table::new(&["lock", "P=1", "P=8"]);
+/// t.row(&["mcs", "31", "44"]);
+/// t.row(&["tas", "25", "310"]);
+/// let text = t.render();
+/// assert!(text.contains("mcs"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row of pre-formatted cells. Short rows are padded with
+    /// empty cells; long rows extend the column count.
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the aligned text form, ending with a newline.
+    pub fn render(&self) -> String {
+        let cols = self.column_count();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "{t}");
+        }
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, &w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == cols {
+                    let _ = write!(out, "{cell}");
+                } else {
+                    let _ = write!(out, "{cell:<w$}  ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        render_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the CSV form (RFC-4180-ish quoting), ending with a newline.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        };
+        write_row(&self.header);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of digits for table cells:
+/// integers print without a fraction; everything else gets two decimals.
+pub fn fmt_cell(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "22"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and both rows start the second column at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn title_precedes_header() {
+        let t = Table::new(&["x"]).with_title("Table 1: latencies");
+        assert!(t.render().starts_with("Table 1: latencies\n"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3", "4"]);
+        let text = t.render();
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(&["with,comma", "with\"quote"]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn csv_round_count() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1"]);
+        t.row(&["2"]);
+        assert_eq!(t.render_csv().lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_flags() {
+        let t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn fmt_cell_shapes() {
+        assert_eq!(fmt_cell(3.0), "3");
+        assert_eq!(fmt_cell(3.25), "3.25");
+        assert_eq!(fmt_cell(1234.567), "1234.6");
+        assert_eq!(fmt_cell(-2.0), "-2");
+    }
+}

@@ -1,0 +1,109 @@
+//! Barrier episode timing — fig5/fig6's workload.
+//!
+//! A thin wrapper over [`kernels::barriers::timing_trial`] that reduces a
+//! run to the two numbers the figures plot: cycles per episode and
+//! interconnect transactions per episode.
+
+use kernels::barriers::{timing_trial, BarrierKernel};
+use memsim::{Machine, SimError};
+
+/// Parameters of a barrier timing trial.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierConfig {
+    /// Participating processors.
+    pub nprocs: usize,
+    /// Barrier episodes to time.
+    pub episodes: u64,
+    /// Cycles of "computation" between episodes (plus a deterministic
+    /// per-processor skew so arrivals stagger).
+    pub work: u64,
+}
+
+/// Results of a barrier timing trial.
+#[derive(Debug, Clone)]
+pub struct BarrierResult {
+    /// Elapsed cycles for the whole run.
+    pub total_cycles: u64,
+    /// Cycles per episode net of the configured work time.
+    pub episode_time: f64,
+    /// Interconnect transactions per episode.
+    pub transactions_per_episode: f64,
+}
+
+/// Runs the trial for `barrier` on `machine`.
+pub fn run(
+    machine: &Machine,
+    barrier: &dyn BarrierKernel,
+    cfg: &BarrierConfig,
+) -> Result<BarrierResult, SimError> {
+    let report = timing_trial(machine, barrier, cfg.nprocs, cfg.episodes, cfg.work)?;
+    let cycles = report.metrics.total_cycles;
+    let per_episode = cycles as f64 / cfg.episodes as f64;
+    Ok(BarrierResult {
+        total_cycles: cycles,
+        episode_time: (per_episode - cfg.work as f64).max(0.0),
+        transactions_per_episode: report.metrics.interconnect_transactions as f64
+            / cfg.episodes as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::barriers::central::CentralBarrier;
+    use kernels::barriers::dissemination::DisseminationBarrier;
+    use memsim::MachineParams;
+
+    #[test]
+    fn reports_positive_episode_time() {
+        let machine = Machine::new(MachineParams::bus_1991(4));
+        let cfg = BarrierConfig {
+            nprocs: 4,
+            episodes: 10,
+            work: 50,
+        };
+        let r = run(&machine, &CentralBarrier, &cfg).unwrap();
+        assert!(r.episode_time > 0.0);
+        assert!(r.transactions_per_episode > 0.0);
+    }
+
+    #[test]
+    fn work_time_is_subtracted() {
+        let machine = Machine::new(MachineParams::bus_1991(2));
+        let lean = run(
+            &machine,
+            &CentralBarrier,
+            &BarrierConfig {
+                nprocs: 2,
+                episodes: 10,
+                work: 0,
+            },
+        )
+        .unwrap();
+        let laden = run(
+            &machine,
+            &CentralBarrier,
+            &BarrierConfig {
+                nprocs: 2,
+                episodes: 10,
+                work: 500,
+            },
+        )
+        .unwrap();
+        // Net episode times should be comparable despite 500 cycles of work.
+        assert!((laden.episode_time - lean.episode_time).abs() < lean.episode_time * 2.0 + 20.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let machine = Machine::new(MachineParams::numa_1991(4));
+        let cfg = BarrierConfig {
+            nprocs: 4,
+            episodes: 5,
+            work: 30,
+        };
+        let a = run(&machine, &DisseminationBarrier, &cfg).unwrap();
+        let b = run(&machine, &DisseminationBarrier, &cfg).unwrap();
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+}

@@ -1,0 +1,23 @@
+//! # workloads — experiment drivers for the syncmech evaluation
+//!
+//! Each module drives one experiment family from DESIGN.md's per-experiment
+//! index, shared between the `bench` figure binaries, the integration
+//! tests, and the examples:
+//!
+//! * [`csbench`] — the critical-section microbenchmark behind table1,
+//!   fig1–fig4 and fig7: P processors repeatedly acquire a lock, hold it
+//!   for a configurable time, release, and "think".
+//! * [`fairness`] — the acquisition-order workload behind table2: a full
+//!   hand-off log from which service distributions are computed.
+//! * [`barrierbench`] — barrier episode timing behind fig5/fig6.
+//! * [`sweeps`] — parameter sweeps assembling [`simcore::Series`] for each
+//!   figure.
+//! * [`realhw`] — the real-hardware (std thread) harness behind fig8,
+//!   exercising the `qsm` crate rather than the simulator.
+
+pub mod barrierbench;
+pub mod csbench;
+pub mod fairness;
+pub mod realhw;
+pub mod rwbench;
+pub mod sweeps;

@@ -1,0 +1,135 @@
+//! Real-hardware harness — fig8's workload.
+//!
+//! Exercises the `qsm` crate's std-atomics primitives with actual OS
+//! threads and wall-clock timing. On this reproduction's single-core host
+//! the contended numbers measure scheduler behaviour rather than coherence
+//! traffic (the simulator owns that claim); the harness still validates
+//! that the real implementations are correct and reports uncontended
+//! latencies, which *are* meaningful on one core.
+
+use qsm::raw::RawLock;
+use qsm::QsmBarrier;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Nanoseconds per uncontended acquire/release pair, measured over `iters`
+/// iterations on the calling thread.
+pub fn uncontended_ns(lock: &dyn RawLock, iters: u64) -> f64 {
+    // Warm up allocator paths (queue locks allocate nodes).
+    for _ in 0..100 {
+        let t = lock.lock();
+        unsafe { lock.unlock(t) };
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        let t = lock.lock();
+        unsafe { lock.unlock(t) };
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Total critical sections per millisecond with `threads` contending
+/// threads each performing `iters` increments of a shared (atomic) cell.
+pub fn contended_throughput(lock: Arc<dyn RawLock>, threads: usize, iters: u64) -> f64 {
+    let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let start_gate = Arc::new(QsmBarrier::new(threads));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            let gate = Arc::clone(&start_gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                for _ in 0..iters {
+                    let t = lock.lock();
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    unsafe { lock.unlock(t) };
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let total = counter.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(total, threads as u64 * iters, "lost critical sections");
+    total as f64 / elapsed_ms
+}
+
+/// One fig8 row: lock name, uncontended ns/op, and throughput at each
+/// requested thread count.
+#[derive(Debug, Clone)]
+pub struct RealHwRow {
+    /// Lock under test.
+    pub name: &'static str,
+    /// Uncontended acquire+release latency, ns.
+    pub uncontended_ns: f64,
+    /// `(threads, critical sections per ms)` pairs.
+    pub throughput: Vec<(usize, f64)>,
+}
+
+/// Runs the full fig8 sweep over the real-hardware lock registry.
+///
+/// On a single-core host the contended runs are scheduler-bound (every
+/// FIFO hand-off needs a context switch), so the iteration count is scaled
+/// down hard to keep the sweep finite; the caveat is recorded with fig8.
+pub fn sweep(thread_counts: &[usize], iters: u64) -> Vec<RealHwRow> {
+    let single_core = std::thread::available_parallelism()
+        .map(|n| n.get() == 1)
+        .unwrap_or(false);
+    let contended_iters = if single_core { (iters / 20).max(500) } else { iters };
+    let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    qsm::all_locks(max_threads)
+        .into_iter()
+        .map(|lock| {
+            let name = lock.name();
+            let uncontended = uncontended_ns(lock.as_ref(), iters);
+            let lock: Arc<dyn RawLock> = Arc::from(lock);
+            let throughput = thread_counts
+                .iter()
+                .map(|&t| {
+                    (
+                        t,
+                        contended_throughput(Arc::clone(&lock), t, contended_iters / t as u64),
+                    )
+                })
+                .collect();
+            RealHwRow {
+                name,
+                uncontended_ns: uncontended,
+                throughput,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_latency_is_positive() {
+        let lock = qsm::Qsm::new();
+        let ns = uncontended_ns(&lock, 10_000);
+        assert!(ns > 0.0 && ns < 100_000.0, "implausible latency {ns}");
+    }
+
+    #[test]
+    fn contended_throughput_counts_everything() {
+        let lock: Arc<dyn RawLock> = Arc::new(qsm::TicketLock::new());
+        let thr = contended_throughput(lock, 2, 2_000);
+        assert!(thr > 0.0);
+    }
+
+    #[test]
+    fn sweep_covers_registry() {
+        let rows = sweep(&[1, 2], 2_000);
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.uncontended_ns > 0.0, "{} zero latency", row.name);
+            assert_eq!(row.throughput.len(), 2);
+        }
+    }
+}

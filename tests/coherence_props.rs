@@ -1,0 +1,160 @@
+//! Property-based tests of the simulated machine: randomly generated
+//! programs must satisfy the architectural invariants regardless of
+//! topology, processor count, or operation mix.
+
+use memsim::{Machine, MachineParams, Topology};
+use proptest::prelude::*;
+
+/// A single random operation in a generated program.
+#[derive(Debug, Clone, Copy)]
+enum GenOp {
+    Load(usize),
+    Store(usize, u64),
+    FetchAdd(usize, u64),
+    Swap(usize, u64),
+    Cas(usize, u64, u64),
+    Delay(u64),
+}
+
+const WORDS: usize = 24;
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0..WORDS).prop_map(GenOp::Load),
+        (0..WORDS, 0..50u64).prop_map(|(a, v)| GenOp::Store(a, v)),
+        (0..WORDS, 1..5u64).prop_map(|(a, d)| GenOp::FetchAdd(a, d)),
+        (0..WORDS, 0..50u64).prop_map(|(a, v)| GenOp::Swap(a, v)),
+        (0..WORDS, 0..5u64, 0..50u64).prop_map(|(a, e, n)| GenOp::Cas(a, e, n)),
+        (0..40u64).prop_map(GenOp::Delay),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<GenOp>>> {
+    // 1..=6 processors, each with up to 30 operations.
+    prop::collection::vec(prop::collection::vec(op_strategy(), 0..30), 1..=6)
+}
+
+fn run_program(params: MachineParams, prog: &[Vec<GenOp>]) -> memsim::RunReport {
+    let machine = Machine::new(params);
+    machine
+        .run(prog.len(), WORDS, |p| {
+            for &op in &prog[p.pid()] {
+                match op {
+                    GenOp::Load(a) => {
+                        p.load(a);
+                    }
+                    GenOp::Store(a, v) => p.store(a, v),
+                    GenOp::FetchAdd(a, d) => {
+                        p.fetch_add(a, d);
+                    }
+                    GenOp::Swap(a, v) => {
+                        p.swap(a, v);
+                    }
+                    GenOp::Cas(a, e, n) => {
+                        let _ = p.cas(a, e, n);
+                    }
+                    GenOp::Delay(c) => p.delay(c),
+                }
+            }
+        })
+        .expect("straight-line programs cannot deadlock")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Determinism: the same program produces identical metrics and memory
+    /// on repeated runs, on both topologies.
+    #[test]
+    fn random_programs_are_deterministic(prog in program_strategy()) {
+        for params in [MachineParams::bus_1991(prog.len()), MachineParams::numa_1991(prog.len())] {
+            let a = run_program(params.clone(), &prog);
+            let b = run_program(params, &prog);
+            prop_assert_eq!(&a.memory, &b.memory);
+            prop_assert_eq!(&a.metrics, &b.metrics);
+        }
+    }
+
+    /// Accounting: hits + misses == loads + stores + rmws (every access is
+    /// classified exactly once), and every upgrade is also counted as a hit
+    /// or... rather: upgrades never exceed write-class operations.
+    #[test]
+    fn access_accounting_balances(prog in program_strategy()) {
+        let report = run_program(MachineParams::bus_1991(prog.len()), &prog);
+        let m = &report.metrics;
+        for pm in &m.per_proc {
+            // Upgrades are neither hits nor misses in our classification;
+            // the three classes partition all accesses.
+            prop_assert_eq!(pm.hits + pm.misses + pm.upgrades, pm.ops());
+        }
+    }
+
+    /// Conservation: an address touched only by fetch_add ends at the sum
+    /// of its deltas.
+    #[test]
+    fn fetch_add_conserves(deltas in prop::collection::vec(prop::collection::vec(1..7u64, 0..20), 1..=5)) {
+        let machine = Machine::new(MachineParams::bus_1991(deltas.len()));
+        let expected: u64 = deltas.iter().flatten().sum();
+        let report = machine.run(deltas.len(), 1, |p| {
+            for &d in &deltas[p.pid()] {
+                p.fetch_add(0, d);
+            }
+        }).unwrap();
+        prop_assert_eq!(report.memory[0], expected);
+    }
+
+    /// Value domain: a word only ever holds a value some operation wrote
+    /// (or its initial zero) — the final memory is drawn from the write set.
+    #[test]
+    fn final_values_come_from_writes(prog in program_strategy()) {
+        let report = run_program(MachineParams::bus_1991(prog.len()), &prog);
+        // Collect every value any op could produce per address.
+        let mut possible: Vec<std::collections::HashSet<u64>> =
+            vec![std::iter::once(0).collect(); WORDS];
+        // Fetch-add makes exact value sets expensive; only check addresses
+        // never touched by fetch_add.
+        let mut has_fa = [false; WORDS];
+        for ops in &prog {
+            for &op in ops {
+                match op {
+                    GenOp::Store(a, v) | GenOp::Swap(a, v) => { possible[a].insert(v); }
+                    GenOp::Cas(a, _, n) => { possible[a].insert(n); }
+                    GenOp::FetchAdd(a, _) => has_fa[a] = true,
+                    _ => {}
+                }
+            }
+        }
+        for a in 0..WORDS {
+            if !has_fa[a] {
+                prop_assert!(
+                    possible[a].contains(&report.memory[a]),
+                    "word {} holds {} which nothing wrote", a, report.memory[a]
+                );
+            }
+        }
+    }
+
+    /// Time monotonicity: elapsed time is at least each processor's total
+    /// explicit delay, and interconnect transactions are bounded by misses
+    /// plus upgrades.
+    #[test]
+    fn timing_and_traffic_bounds(prog in program_strategy()) {
+        let report = run_program(MachineParams::bus_1991(prog.len()), &prog);
+        let m = &report.metrics;
+        for (pid, ops) in prog.iter().enumerate() {
+            let delays: u64 = ops.iter().map(|op| match op {
+                GenOp::Delay(c) => *c,
+                _ => 0,
+            }).sum();
+            prop_assert!(m.per_proc[pid].finish_time >= delays);
+        }
+        let classified: u64 = m.misses() + m.per_proc.iter().map(|p| p.upgrades).sum::<u64>();
+        prop_assert_eq!(m.interconnect_transactions, classified);
+    }
+}
+
+#[test]
+fn numa_topology_is_reported() {
+    let params = MachineParams::numa_1991(8);
+    assert!(matches!(params.topology, Topology::Numa { nodes: 2 }));
+}

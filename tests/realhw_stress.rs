@@ -1,0 +1,184 @@
+//! Multi-thread stress of the real-hardware (`qsm` crate) primitives —
+//! heavier and longer-running than the crate's unit tests, exercising
+//! mixed workloads across every lock.
+
+use qsm::raw::RawLock;
+use qsm::{EventCount, Mutex, QsmBarrier, Sequencer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn all_locks_protect_a_shared_vec() {
+    for lock in qsm::all_locks(4) {
+        let name = lock.name();
+        let lock: Arc<dyn RawLock> = Arc::from(lock);
+        struct Shared(std::cell::UnsafeCell<Vec<u64>>);
+        unsafe impl Sync for Shared {}
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new(Vec::new())));
+        let threads: Vec<_> = (0..4)
+            .map(|id| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..300u64 {
+                        let t = lock.lock();
+                        // SAFETY: protected by the lock under test.
+                        unsafe { (*shared.0.get()).push(id * 1000 + i) };
+                        unsafe { lock.unlock(t) };
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let v = unsafe { &*shared.0.get() };
+        assert_eq!(v.len(), 1200, "{name} lost pushes");
+        // Per-thread subsequences must appear in order (a torn push or a
+        // lost update would break this).
+        for id in 0..4u64 {
+            let mine: Vec<u64> = v.iter().copied().filter(|x| x / 1000 == id).collect();
+            assert_eq!(mine.len(), 300, "{name}: thread {id} lost entries");
+            assert!(
+                mine.windows(2).all(|w| w[0] < w[1]),
+                "{name}: thread {id} entries out of order"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutex_with_every_raw_lock_via_type_params() {
+    fn hammer<L: RawLock + Default + 'static>() {
+        let m: Arc<Mutex<u64, L>> = Arc::new(Mutex::new(0));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..400 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 1200);
+    }
+    hammer::<qsm::TasLock>();
+    hammer::<qsm::TasBackoffLock>();
+    hammer::<qsm::TtasLock>();
+    hammer::<qsm::TicketLock>();
+    hammer::<qsm::ClhLock>();
+    hammer::<qsm::McsLock>();
+    hammer::<qsm::Qsm>();
+}
+
+#[test]
+fn barrier_phases_order_effects() {
+    const THREADS: usize = 4;
+    const EPISODES: u64 = 200;
+    let barrier = Arc::new(QsmBarrier::new(THREADS));
+    let phase_sum = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let phase_sum = Arc::clone(&phase_sum);
+            std::thread::spawn(move || {
+                for ep in 1..=EPISODES {
+                    phase_sum.fetch_add(1, Ordering::Relaxed);
+                    barrier.wait();
+                    // After the episode, exactly THREADS*ep arrivals happened.
+                    let seen = phase_sum.load(Ordering::Relaxed);
+                    assert!(seen >= THREADS as u64 * ep, "episode {ep}: {seen}");
+                    barrier.wait();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(phase_sum.load(Ordering::Relaxed), THREADS as u64 * EPISODES);
+}
+
+#[test]
+fn eventcount_and_sequencer_run_a_lockless_queue() {
+    // Two producers + one consumer over a 4-slot ring (the pipeline example
+    // in miniature, asserted strictly).
+    const TOTAL: u64 = 4000;
+    const CAP: u64 = 4;
+    let turns = Arc::new(Sequencer::new());
+    let produced = Arc::new(EventCount::new());
+    let consumed = Arc::new(EventCount::new());
+    let cells: Arc<Vec<AtomicU64>> = Arc::new((0..CAP).map(|_| AtomicU64::new(0)).collect());
+
+    let consumer = {
+        let produced = Arc::clone(&produced);
+        let consumed = Arc::clone(&consumed);
+        let cells = Arc::clone(&cells);
+        std::thread::spawn(move || {
+            let mut sum = 0u64;
+            for seq in 0..TOTAL {
+                produced.await_at_least(seq + 1);
+                sum += cells[(seq % CAP) as usize].load(Ordering::Acquire);
+                consumed.advance();
+            }
+            sum
+        })
+    };
+
+    let producers: Vec<_> = (0..2)
+        .map(|_| {
+            let turns = Arc::clone(&turns);
+            let produced = Arc::clone(&produced);
+            let consumed = Arc::clone(&consumed);
+            let cells = Arc::clone(&cells);
+            std::thread::spawn(move || {
+                loop {
+                    let seq = turns.ticket();
+                    if seq >= TOTAL {
+                        return;
+                    }
+                    if seq >= CAP {
+                        consumed.await_at_least(seq - CAP + 1);
+                    }
+                    produced.await_at_least(seq); // strict fill order
+                    cells[(seq % CAP) as usize].store(seq + 1, Ordering::Release);
+                    produced.advance();
+                }
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    let sum = consumer.join().unwrap();
+    assert_eq!(sum, (1..=TOTAL).sum::<u64>());
+}
+
+#[test]
+fn anderson_respects_capacity_bound() {
+    // Exactly `capacity` threads — the documented maximum — must work.
+    let lock = Arc::new(qsm::AndersonLock::new(3));
+    let count = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..3)
+        .map(|_| {
+            let lock = Arc::clone(&lock);
+            let count = Arc::clone(&count);
+            std::thread::spawn(move || {
+                for _ in 0..300 {
+                    let t = lock.lock();
+                    count.fetch_add(1, Ordering::Relaxed);
+                    unsafe { lock.unlock(t) };
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 900);
+}
