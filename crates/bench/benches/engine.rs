@@ -1,44 +1,33 @@
-//! Criterion benches of the simulator itself — not a paper figure, but the
-//! number that bounds how large a sweep the figure binaries can afford:
-//! simulated memory operations per second of host time.
+//! Benches of the simulator itself — not a paper figure, but the number
+//! that bounds how large a sweep the figure binaries can afford: simulated
+//! memory operations per second of host time.
+//!
+//! Uses the workspace's own `bench::timing` harness (best-observed
+//! ns/iter); run with `cargo bench -p bench --bench engine`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::report;
 use kernels::locks::{counter_trial, mcs::McsLock, tas::TasLock};
 use memsim::{Machine, MachineParams};
 
-fn bench_fetch_add_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_fetch_add");
-    group.sample_size(10);
+fn main() {
     for &p in &[1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            let machine = Machine::new(MachineParams::bus_1991(p));
-            b.iter(|| {
-                machine
-                    .run(p, 1, |proc| {
-                        for _ in 0..50 {
-                            proc.fetch_add(0, 1);
-                        }
-                    })
-                    .unwrap()
-            });
+        let machine = Machine::new(MachineParams::bus_1991(p));
+        report(&format!("sim_fetch_add/p{p}"), || {
+            machine
+                .run(p, 1, |proc| {
+                    for _ in 0..50 {
+                        proc.fetch_add(0, 1);
+                    }
+                })
+                .unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_lock_trials(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_lock_trial_p8");
-    group.sample_size(10);
-    group.bench_function("mcs", |b| {
-        let machine = Machine::new(MachineParams::bus_1991(8));
-        b.iter(|| counter_trial(&machine, &McsLock, 8, 8, 20).unwrap());
+    let machine = Machine::new(MachineParams::bus_1991(8));
+    report("sim_lock_trial_p8/mcs", || {
+        counter_trial(&machine, &McsLock, 8, 8, 20).unwrap();
     });
-    group.bench_function("tas", |b| {
-        let machine = Machine::new(MachineParams::bus_1991(8));
-        b.iter(|| counter_trial(&machine, &TasLock, 8, 8, 20).unwrap());
+    report("sim_lock_trial_p8/tas", || {
+        counter_trial(&machine, &TasLock, 8, 8, 20).unwrap();
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fetch_add_throughput, bench_lock_trials);
-criterion_main!(benches);

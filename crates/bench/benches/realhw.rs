@@ -1,61 +1,41 @@
-//! Criterion benches of the real-hardware primitives (`qsm` crate).
+//! Benches of the real-hardware primitives (`qsm` crate).
 //!
-//! Complements the fig8 binary with statistically disciplined single-thread
-//! measurements: uncontended acquire/release per lock, eventcount advance,
-//! sequencer tickets, and a solo barrier episode.
+//! Complements the fig8 binary with single-thread overhead measurements:
+//! uncontended acquire/release per lock, eventcount advance, sequencer
+//! tickets, and a solo barrier episode. Uses the workspace's own
+//! `bench::timing` harness; run with `cargo bench -p bench --bench realhw`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::report;
 use std::hint::black_box;
 
-fn bench_uncontended_locks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uncontended_lock");
+fn main() {
     for lock in qsm::all_locks(4) {
-        group.bench_function(lock.name(), |b| {
-            b.iter(|| {
-                let token = lock.lock();
-                // An empty critical section isolates lock overhead.
-                unsafe { lock.unlock(black_box(token)) };
-            });
+        report(&format!("uncontended_lock/{}", lock.name()), || {
+            let token = lock.lock();
+            // An empty critical section isolates lock overhead.
+            unsafe { lock.unlock(black_box(token)) };
         });
     }
-    group.finish();
-}
 
-fn bench_eventcount(c: &mut Criterion) {
     let ec = qsm::EventCount::new();
-    c.bench_function("eventcount_advance", |b| {
-        b.iter(|| black_box(ec.advance()));
+    report("eventcount_advance", || {
+        black_box(ec.advance());
     });
-    c.bench_function("eventcount_read", |b| {
-        b.iter(|| black_box(ec.read()));
+    report("eventcount_read", || {
+        black_box(ec.read());
     });
     let seq = qsm::Sequencer::new();
-    c.bench_function("sequencer_ticket", |b| {
-        b.iter(|| black_box(seq.ticket()));
+    report("sequencer_ticket", || {
+        black_box(seq.ticket());
     });
-}
 
-fn bench_barrier_solo(c: &mut Criterion) {
     let barrier = qsm::QsmBarrier::new(1);
-    c.bench_function("qsm_barrier_solo_episode", |b| {
-        b.iter(|| black_box(barrier.wait()));
+    report("qsm_barrier_solo_episode", || {
+        black_box(barrier.wait());
     });
-}
 
-fn bench_mutex(c: &mut Criterion) {
     let mutex: qsm::Mutex<u64> = qsm::Mutex::new(0);
-    c.bench_function("qsm_mutex_lock_increment", |b| {
-        b.iter(|| {
-            *mutex.lock() += 1;
-        });
+    report("qsm_mutex_lock_increment", || {
+        *mutex.lock() += 1;
     });
 }
-
-criterion_group!(
-    benches,
-    bench_uncontended_locks,
-    bench_eventcount,
-    bench_barrier_solo,
-    bench_mutex
-);
-criterion_main!(benches);

@@ -89,6 +89,54 @@ pub fn emit_final_ratio(series: &Series, loser: &str, winner: &str) {
     }
 }
 
+/// Minimal wall-clock measurement for the `benches/` targets.
+///
+/// The workspace builds offline, so instead of criterion the bench targets
+/// use this hand-rolled harness: warm up, run batches until a time budget
+/// is spent, report ns/iter from the fastest batch (the standard "best
+/// observed" estimator, robust to scheduler noise in one direction).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Measures `f`, returning the best observed nanoseconds per iteration.
+    pub fn bench_ns(mut f: impl FnMut()) -> f64 {
+        // Warm-up: pull code and data into cache, trigger lazy init.
+        for _ in 0..10 {
+            f();
+        }
+        // Calibrate a batch size that runs for roughly 1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            if t.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut best = f64::INFINITY;
+        while start.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(per_iter);
+        }
+        best
+    }
+
+    /// Runs and prints one named measurement in a `cargo bench`-like format.
+    pub fn report(name: &str, f: impl FnMut()) {
+        let ns = bench_ns(f);
+        println!("{name:<40} {ns:>12.1} ns/iter");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,309 @@
+//! `interleave` — command-line front end for the schedule explorer.
+//!
+//! Checks any registered lock or barrier kernel, and deterministically
+//! re-executes a recorded schedule (the list of thread choices a violating
+//! verdict prints) with a per-operation narration:
+//!
+//! ```text
+//! interleave list
+//! interleave check lock:ticket --threads 2 --iters 1
+//! interleave check lock:tas --threads 2 --iters 3 --preemptions 2 --bypass-bound 1
+//! interleave check barrier:central --threads 2 --episodes 1
+//! interleave replay lock:mcs --schedule 0,0,1,1,0,0 --threads 2 --iters 1
+//! ```
+//!
+//! `check` exits 1 when a violation is found (printing the reproducing
+//! schedule and the matching `replay` invocation); `replay` exits 1 when
+//! the re-execution ends in a violation, so both compose with shell `&&`.
+
+use interleave::harness::{barrier_program, check_barrier, check_lock, check_lock_bypass};
+use interleave::harness::lock_program;
+use interleave::{Explorer, Program, Stats, Verdict};
+use kernels::barriers::{all_barriers, barrier_by_name};
+use kernels::lockdep::InstrumentedLock;
+use kernels::locks::{all_locks, lock_by_name, LockKernel};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  interleave list
+  interleave check  <lock:NAME|barrier:NAME> [options]
+  interleave replay <lock:NAME|barrier:NAME> --schedule N,N,... [options]
+
+options:
+  --threads N       thread count (default 2)
+  --iters N         critical sections per thread, locks (default 1)
+  --episodes N      barrier episodes per thread (default 1)
+  --preemptions K   preemption bound (default: exhaustive)
+  --max-steps N     per-run step limit
+  --max-runs N      run budget
+  --bypass-bound K  fail schedules that bypass a waiter more than K times
+  --no-reduction    disable sleep-set partial-order reduction"
+    );
+    std::process::exit(2);
+}
+
+/// What the positional `lock:NAME` / `barrier:NAME` argument named.
+enum Target {
+    Lock(String),
+    Barrier(String),
+}
+
+struct Args {
+    cmd: String,
+    target: Option<Target>,
+    threads: usize,
+    iters: usize,
+    episodes: u64,
+    preemptions: Option<usize>,
+    max_steps: Option<usize>,
+    max_runs: Option<usize>,
+    bypass_bound: Option<usize>,
+    no_reduction: bool,
+    schedule: Option<Vec<usize>>,
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let cmd = it.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        cmd,
+        target: None,
+        threads: 2,
+        iters: 1,
+        episodes: 1,
+        preemptions: None,
+        max_steps: None,
+        max_runs: None,
+        bypass_bound: None,
+        no_reduction: false,
+        schedule: None,
+    };
+    fn num<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+        let v = it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        });
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: bad value {v:?}");
+            std::process::exit(2);
+        })
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => args.threads = num(&mut it, "--threads"),
+            "--iters" => args.iters = num(&mut it, "--iters"),
+            "--episodes" => args.episodes = num(&mut it, "--episodes"),
+            "--preemptions" => args.preemptions = Some(num(&mut it, "--preemptions")),
+            "--max-steps" => args.max_steps = Some(num(&mut it, "--max-steps")),
+            "--max-runs" => args.max_runs = Some(num(&mut it, "--max-runs")),
+            "--bypass-bound" => args.bypass_bound = Some(num(&mut it, "--bypass-bound")),
+            "--no-reduction" => args.no_reduction = true,
+            "--schedule" => {
+                let spec: String = num(&mut it, "--schedule");
+                let parsed: Result<Vec<usize>, _> =
+                    spec.split(',').map(|s| s.trim().parse()).collect();
+                match parsed {
+                    Ok(v) => args.schedule = Some(v),
+                    Err(_) => {
+                        eprintln!("--schedule: expected comma-separated thread ids, got {spec:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                let target = if let Some(name) = other.strip_prefix("lock:") {
+                    Target::Lock(name.to_string())
+                } else if let Some(name) = other.strip_prefix("barrier:") {
+                    Target::Barrier(name.to_string())
+                } else {
+                    eprintln!("unrecognized argument {other:?}");
+                    usage();
+                };
+                if args.target.is_some() {
+                    eprintln!("only one target allowed");
+                    usage();
+                }
+                args.target = Some(target);
+            }
+        }
+    }
+    args
+}
+
+fn explorer_from(args: &Args) -> Explorer {
+    let mut e = match args.preemptions {
+        Some(k) => Explorer::bounded(k),
+        None => Explorer::exhaustive(),
+    };
+    if let Some(s) = args.max_steps {
+        e = e.with_max_steps(s);
+    }
+    if let Some(r) = args.max_runs {
+        e = e.with_max_runs(r);
+    }
+    if args.no_reduction {
+        e = e.without_reduction();
+    }
+    if let Some(k) = args.bypass_bound {
+        e = e.with_bypass_bound(k);
+    }
+    e
+}
+
+fn render_stats(s: Stats) {
+    println!(
+        "runs {} (step-limit pruned {}, sleep-set pruned {}), max depth {}, {}",
+        s.runs,
+        s.pruned,
+        s.sleep_pruned,
+        s.max_depth,
+        if s.complete {
+            "search complete"
+        } else {
+            "run budget exhausted"
+        }
+    );
+}
+
+/// Builds the program a target names, mirroring exactly what `check` runs
+/// so recorded schedules replay against the same operation sequence.
+fn build_program(args: &Args) -> Program {
+    match args.target.as_ref().unwrap_or_else(|| usage()) {
+        Target::Lock(name) => {
+            let mut lock: Arc<dyn LockKernel + Send + Sync> = lock_by_name(name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown lock {name:?}; see `interleave list`");
+                    std::process::exit(2);
+                })
+                .into();
+            // Mirror `check --bypass-bound`: the waiter accounting only
+            // sees locks wrapped in the event-emitting instrumentation.
+            if args.bypass_bound.is_some() {
+                lock = Arc::new(InstrumentedLock::new(lock, 0));
+            }
+            lock_program(lock, args.threads, args.iters)
+        }
+        Target::Barrier(name) => {
+            let barrier = barrier_by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown barrier {name:?}; see `interleave list`");
+                std::process::exit(2);
+            });
+            barrier_program(barrier.into(), args.threads, args.episodes)
+        }
+    }
+}
+
+fn run_check(args: &Args) -> ExitCode {
+    let explorer = explorer_from(args);
+    let (verdict, target_spec) = match args.target.as_ref().unwrap_or_else(|| usage()) {
+        Target::Lock(name) => {
+            let lock: Arc<_> = lock_by_name(name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown lock {name:?}; see `interleave list`");
+                    std::process::exit(2);
+                })
+                .into();
+            let v = match args.bypass_bound {
+                Some(bound) => check_lock_bypass(lock, args.threads, args.iters, bound, explorer),
+                None => check_lock(lock, args.threads, args.iters, explorer),
+            };
+            (v, format!("lock:{name}"))
+        }
+        Target::Barrier(name) => {
+            let barrier: Arc<_> = barrier_by_name(name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown barrier {name:?}; see `interleave list`");
+                    std::process::exit(2);
+                })
+                .into();
+            (
+                check_barrier(barrier, args.threads, args.episodes, explorer),
+                format!("barrier:{name}"),
+            )
+        }
+    };
+    render_stats(verdict.stats());
+    match &verdict {
+        Verdict::Passed(_) => {
+            println!("PASS: no violation within the explored bounds");
+            ExitCode::SUCCESS
+        }
+        Verdict::Deadlock { blocked, .. } => {
+            println!("FAIL: deadlock; blocked (thread, word): {blocked:?}");
+            print_repro(args, &target_spec, &verdict);
+            ExitCode::FAILURE
+        }
+        Verdict::Violation { message, .. } => {
+            println!("FAIL: {message}");
+            print_repro(args, &target_spec, &verdict);
+            ExitCode::FAILURE
+        }
+        Verdict::Race { report, .. } => {
+            println!("FAIL: {report}");
+            print_repro(args, &target_spec, &verdict);
+            ExitCode::FAILURE
+        }
+        Verdict::Starvation { report, .. } => {
+            println!("FAIL: {report}");
+            print_repro(args, &target_spec, &verdict);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_repro(args: &Args, target_spec: &str, verdict: &Verdict) {
+    let schedule = verdict.schedule().unwrap_or(&[]);
+    let sched: Vec<String> = schedule.iter().map(|p| p.to_string()).collect();
+    println!("schedule: {}", sched.join(","));
+    let mut extent = match args.target {
+        Some(Target::Barrier(_)) => format!("--episodes {}", args.episodes),
+        _ => format!("--iters {}", args.iters),
+    };
+    if let Some(k) = args.bypass_bound {
+        extent.push_str(&format!(" --bypass-bound {k}"));
+    }
+    println!(
+        "replay with: interleave replay {target_spec} --threads {} {extent} --schedule {}",
+        args.threads,
+        sched.join(",")
+    );
+}
+
+fn run_replay(args: &Args) -> ExitCode {
+    let schedule = args.schedule.as_deref().unwrap_or_else(|| {
+        eprintln!("replay needs --schedule");
+        usage();
+    });
+    let program = build_program(args);
+    let replay = explorer_from(args).replay(&program, schedule);
+    print!("{}", replay.render());
+    match replay.end {
+        interleave::ReplayEnd::Complete(_) | interleave::ReplayEnd::StepLimit => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    }
+}
+
+fn run_list() -> ExitCode {
+    println!("locks:");
+    for lock in all_locks() {
+        println!("  lock:{}", lock.name());
+    }
+    println!("barriers:");
+    for barrier in all_barriers() {
+        println!("  barrier:{}", barrier.name());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "list" => run_list(),
+        "check" => run_check(&args),
+        "replay" => run_replay(&args),
+        _ => usage(),
+    }
+}

@@ -5,27 +5,40 @@
 //! workspace root for the full sweep):
 //!
 //! * **mutual exclusion** — no schedule lets two threads overlap in the
-//!   critical section, witnessed by an owner-word assertion *and* a final
-//!   counter total;
+//!   critical section. The workload's counter accesses are *data* accesses
+//!   ([`kernels::SyncCtx::data_load`] / `data_store`), so the vector-clock
+//!   race detector reports any overlap as [`Verdict::Race`] the moment it
+//!   is possible — even on schedules whose final counter is correct — and
+//!   the final counter total is kept as a second, independent witness;
 //! * **barrier safety** — no schedule releases a thread from episode *k*
-//!   before every peer has arrived at episode *k*.
+//!   before every peer has arrived at episode *k*; the arrival stamps are
+//!   data accesses, so an unsafe barrier is also a race;
+//! * **bounded bypass** — with an instrumented lock and
+//!   [`Explorer::with_bypass_bound`], no schedule lets the lock bypass a
+//!   waiter more than the bound allows (FIFO locks pass, retry locks
+//!   starve);
+//! * **lock ordering** — instrumented locks feed a cross-run
+//!   [`LockOrderGraph`]; a cycle is a potential deadlock even when no
+//!   explored schedule exhibits it.
 
 use crate::explorer::{Explorer, Verdict};
 use crate::program::Program;
 use kernels::barriers::BarrierKernel;
+use kernels::lockdep::InstrumentedLock;
 use kernels::locks::LockKernel;
-use kernels::{Region, SyncCtx};
+use kernels::{LockOrderGraph, Region, SyncCtx};
 use std::sync::Arc;
 
 /// Builds the mutual-exclusion program for a lock: each thread performs
 /// `iters` critical sections, each a deliberately non-atomic counter
-/// increment (separate load and store).
+/// increment (separate data load and data store).
 ///
 /// Why this suffices: if mutual exclusion can be violated at all, some
-/// schedule interleaves two critical sections, and among the explored
-/// schedules is then one that orders the two loads before either store —
-/// a lost update the final counter check catches. Keeping the critical
-/// section at two operations keeps exhaustive exploration tractable.
+/// schedule interleaves two critical sections, and the two increments are
+/// then happens-before concurrent — the race detector flags the first such
+/// schedule. The final counter total independently catches lost updates.
+/// Keeping the critical section at two operations keeps exhaustive
+/// exploration tractable.
 pub fn lock_program(
     lock: Arc<dyn LockKernel + Send + Sync>,
     nthreads: usize,
@@ -41,8 +54,8 @@ pub fn lock_program(
         let mut ps = body_lock.proc_init(ctx.pid(), &region);
         for _ in 0..iters {
             let token = body_lock.acquire(ctx, &region, &mut ps);
-            let c = ctx.load(counter);
-            ctx.store(counter, c + 1);
+            let c = ctx.data_load(counter);
+            ctx.data_store(counter, c + 1);
             body_lock.release(ctx, &region, &mut ps, token);
         }
     })
@@ -71,9 +84,72 @@ pub fn check_lock(
     })
 }
 
+/// Like [`check_lock`], but with the lock instrumented and the explorer
+/// failing any schedule that bypasses a waiter more than `bound` times.
+/// FIFO locks (ticket, Anderson, Graunke–Thakkar, CLH, MCS, QSM) satisfy
+/// bounded bypass; retry locks (test-and-set variants) do not.
+pub fn check_lock_bypass(
+    lock: Arc<dyn LockKernel + Send + Sync>,
+    nthreads: usize,
+    iters: usize,
+    bound: usize,
+    explorer: Explorer,
+) -> Verdict {
+    let instrumented: Arc<dyn LockKernel + Send + Sync> =
+        Arc::new(InstrumentedLock::new(lock, 0));
+    let expected = (nthreads * iters) as u64;
+    let program = lock_program(instrumented, nthreads, iters);
+    let counter = program.initial_memory().len() - 1;
+    explorer
+        .with_bypass_bound(bound)
+        .check(&program, move |mem| {
+            if mem[counter] == expected {
+                Ok(())
+            } else {
+                Err(format!(
+                    "critical sections lost: counter {} != {expected}",
+                    mem[counter]
+                ))
+            }
+        })
+}
+
+/// Like [`check_lock`], but the lock's acquisitions also feed `graph`
+/// under a freshly registered id. Share one graph across many checks (and
+/// many locks) and call [`LockOrderGraph::assert_acyclic`] at the end to
+/// detect lock-order inversions that no single explored schedule — indeed
+/// no single test — exhibits.
+pub fn check_lock_with_lockdep(
+    lock: Arc<dyn LockKernel + Send + Sync>,
+    nthreads: usize,
+    iters: usize,
+    explorer: Explorer,
+    graph: &Arc<LockOrderGraph>,
+) -> Verdict {
+    let id = graph.register(lock.name());
+    let instrumented: Arc<dyn LockKernel + Send + Sync> =
+        Arc::new(InstrumentedLock::new(lock, id));
+    let expected = (nthreads * iters) as u64;
+    let program =
+        lock_program(instrumented, nthreads, iters).with_lockdep(Arc::clone(graph));
+    let counter = program.initial_memory().len() - 1;
+    explorer.check(&program, move |mem| {
+        if mem[counter] == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "critical sections lost: counter {} != {expected}",
+                mem[counter]
+            ))
+        }
+    })
+}
+
 /// Builds the barrier-safety program: each thread stamps its arrival count,
 /// crosses, and asserts every peer has stamped; a second crossing separates
-/// episodes (as in [`kernels::barriers::episode_trial`]).
+/// episodes (as in [`kernels::barriers::episode_trial`]). Stamps are data
+/// accesses: a barrier that releases early makes the unstamped peer's next
+/// write race with the released thread's read.
 pub fn barrier_program(
     barrier: Arc<dyn BarrierKernel + Send + Sync>,
     nthreads: usize,
@@ -86,10 +162,10 @@ pub fn barrier_program(
     Program::new(nthreads, stamps + nthreads, move |ctx| {
         let mut st = body_barrier.make_state(ctx.pid(), nthreads);
         for ep in 0..episodes {
-            ctx.store(stamps + ctx.pid(), ep + 1);
+            ctx.data_store(stamps + ctx.pid(), ep + 1);
             body_barrier.arrive(ctx, &region, &mut st);
             for j in 0..nthreads {
-                let stamp = ctx.load(stamps + j);
+                let stamp = ctx.data_load(stamps + j);
                 assert!(
                     stamp > ep,
                     "barrier unsafe: released from episode {ep} before thread {j} arrived"
@@ -115,9 +191,9 @@ pub fn check_barrier(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kernels::locks::{mcs::McsLock, qsm::QsmLock, tas::TasLock, ticket::TicketLock};
     use kernels::barriers::central::CentralBarrier;
     use kernels::barriers::qsm_tree::QsmTreeBarrier;
+    use kernels::locks::{mcs::McsLock, qsm::QsmLock, tas::TasLock, ticket::TicketLock};
     use kernels::{Addr, Word};
 
     #[test]
@@ -178,7 +254,8 @@ mod tests {
 
     /// A deliberately broken lock proves the harness can actually fail:
     /// "acquire" is a plain store, so exclusion is violated under some
-    /// schedule.
+    /// schedule — and because the counter increments are data accesses,
+    /// the race detector is the layer that catches it.
     #[test]
     fn harness_detects_broken_lock() {
         #[derive(Debug)]
@@ -212,6 +289,10 @@ mod tests {
         }
         let v = check_lock(Arc::new(BrokenLock), 2, 1, Explorer::exhaustive());
         assert!(v.is_violation(), "broken lock must be caught");
+        assert!(
+            matches!(v, Verdict::Race { .. }),
+            "the race detector should catch it first, got {v:?}"
+        );
     }
 
     /// A barrier that releases immediately must be caught as unsafe.
@@ -257,5 +338,38 @@ mod tests {
         // Anderson's first flag starts at 1 (slot 1 with line_words = 2).
         let flag_addr: Addr = 2;
         assert_eq!(mem[flag_addr], 1 as Word);
+    }
+
+    #[test]
+    fn tas_starves_a_waiter() {
+        let explorer = Explorer::bounded(2).with_max_steps(60).with_max_runs(8000);
+        let v = check_lock_bypass(Arc::new(TasLock), 2, 2, 1, explorer);
+        assert!(
+            matches!(v, Verdict::Starvation { .. }),
+            "tas must admit unbounded bypass, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn ticket_lock_has_bounded_bypass() {
+        let explorer = Explorer::bounded(2).with_max_runs(8000);
+        check_lock_bypass(Arc::new(TicketLock), 2, 2, 1, explorer)
+            .expect_pass("ticket bounded bypass");
+    }
+
+    #[test]
+    fn lockdep_graph_collects_single_lock_edges() {
+        let graph = Arc::new(LockOrderGraph::new());
+        let v = check_lock_with_lockdep(
+            Arc::new(TicketLock),
+            2,
+            1,
+            Explorer::exhaustive(),
+            &graph,
+        );
+        v.expect_pass("ticket with lockdep");
+        // One lock can never produce an ordering edge, let alone a cycle.
+        assert!(graph.edges().is_empty());
+        graph.assert_acyclic("single instrumented lock");
     }
 }

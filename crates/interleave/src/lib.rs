@@ -21,7 +21,31 @@
 //! **preemption bounding** (Musuvathi & Qadeer): only schedules with at most
 //! `k` involuntary context switches are explored. Almost all synchronization
 //! bugs manifest with two or fewer preemptions, which keeps checking every
-//! lock in the suite tractable.
+//! lock in the suite tractable. **Sleep-set partial-order reduction**
+//! (Godefroid) prunes schedules that merely reorder independent steps of
+//! one already explored — typically a 3–65× run reduction on the lock
+//! suite at identical coverage ([`Stats::sleep_pruned`] counts the cuts).
+//!
+//! On top of exploration sits an **analysis layer**:
+//!
+//! * **Vector-clock race detection** ([`race`], FastTrack-style epochs):
+//!   `SyncCtx` sync operations carry happens-before; the harness's
+//!   critical-section counters and barrier stamps are *data* accesses
+//!   ([`ChkCtx::data_load`](kernels::SyncCtx::data_load) /
+//!   `data_store`) that must be ordered by them. Two concurrent data
+//!   accesses surface as [`Verdict::Race`] with both sites and the
+//!   reproducing schedule — even when the final state happens to be right.
+//! * **Lock-order tracking** ([`kernels::LockOrderGraph`] fed through
+//!   [`Program::with_lockdep`]): acquisition edges accumulate across runs,
+//!   workloads and tests; a cycle is a potential deadlock no single
+//!   explored schedule need exhibit.
+//! * **Bounded-bypass checking** ([`Explorer::with_bypass_bound`]): a
+//!   waiter bypassed more than `k` times while demonstrably waiting is
+//!   reported as [`Verdict::Starvation`]. FIFO queue locks pass any bound;
+//!   test-and-set retry locks fail every bound.
+//! * **Deterministic replay** ([`Explorer::replay`], also the
+//!   `interleave` binary): re-executes a recorded schedule with a
+//!   per-operation narration for debugging a reported violation.
 //!
 //! The sibling check for the *real-hardware* primitives (C11 memory model,
 //! weak orderings) is done with `loom` in the `qsm` crate; this crate
@@ -47,6 +71,8 @@
 pub mod explorer;
 pub mod harness;
 pub mod program;
+pub mod race;
 
-pub use explorer::{Explorer, Stats, Verdict};
-pub use program::{ChkCtx, Program};
+pub use explorer::{Explorer, Replay, ReplayEnd, Stats, Verdict};
+pub use program::{ChkCtx, OpKind, OpRecord, Program, StarvationReport};
+pub use race::{AccessSite, Epoch, RaceReport, VectorClock};

@@ -1,6 +1,7 @@
 //! Programs under test and the schedule-controlled execution context.
 
-use kernels::SyncCtx;
+use crate::race::{AccessSite, RaceDetector, RaceReport};
+use kernels::{LockEvent, LockOrderGraph, SyncCtx};
 use memsim::{Addr, Word};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
@@ -8,6 +9,21 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Sentinel payload used to unwind worker threads when a run is torn down
 /// (verdict already decided elsewhere). Never reported as a failure.
 struct ChkAbort;
+
+/// Keeps the default panic hook from printing a message + backtrace for
+/// every [`ChkAbort`] unwind — run teardown is routine, not a crash. All
+/// other payloads still reach the previously installed hook.
+fn silence_abort_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ChkAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
 
 /// Wait predicate mirroring the kernels' spin semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +41,148 @@ impl Pred {
             Pred::UntilEq(v) => cur == v,
         }
     }
+}
+
+/// What kind of shared-memory operation a thread is about to take (or has
+/// taken). Published at every schedule point so the explorer can reason
+/// about operation dependence (partial-order reduction) and so replays can
+/// be rendered per-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A synchronization load ([`SyncCtx::load`]).
+    SyncLoad,
+    /// A synchronization store ([`SyncCtx::store`]).
+    SyncStore,
+    /// An atomic read-modify-write (`swap`, `cas`, `fetch_add`).
+    Rmw,
+    /// A race-checked data load ([`SyncCtx::data_load`]).
+    DataLoad,
+    /// A race-checked data store ([`SyncCtx::data_store`]).
+    DataStore,
+    /// One probe of a watchpoint spin (`spin_while` / `spin_until`).
+    SpinRead,
+}
+
+impl OpKind {
+    /// Can the operation modify memory?
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::SyncStore | OpKind::Rmw | OpKind::DataStore)
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::SyncLoad => "load",
+            OpKind::SyncStore => "store",
+            OpKind::Rmw => "rmw",
+            OpKind::DataLoad => "data-load",
+            OpKind::DataStore => "data-store",
+            OpKind::SpinRead => "spin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The pending operation of a parked thread: what it will do if granted
+/// its next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OpMeta {
+    pub addr: Addr,
+    pub kind: OpKind,
+}
+
+impl OpMeta {
+    /// Mazurkiewicz dependence: two operations commute unless they touch
+    /// the same word and at least one can write it. Spin probes and loads
+    /// of the same word commute; anything involving a write to the shared
+    /// word does not.
+    pub(crate) fn dependent(self, other: OpMeta) -> bool {
+        self.addr == other.addr && (self.kind.is_write() || other.kind.is_write())
+    }
+}
+
+/// One executed operation, recorded when the run collects an op log (used
+/// by schedule replay to narrate the interleaving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Global step index (0-based) at which the op executed.
+    pub step: usize,
+    /// Executing thread.
+    pub pid: usize,
+    /// Operation class.
+    pub kind: OpKind,
+    /// Word touched.
+    pub addr: Addr,
+    /// Value of the word *after* the operation (for reads: the value read).
+    pub value: Word,
+}
+
+impl std::fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {:>4}  t{} {:<10} [{:>3}] = {}",
+            self.step, self.pid, self.kind.to_string(), self.addr, self.value
+        )
+    }
+}
+
+/// A waiter bypassed while starvation accounting is on: the thread issued
+/// [`LockEvent::AcquireStart`] and other threads completed acquisitions of
+/// the same lock more than the configured bound allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarvationReport {
+    /// The bypassed thread.
+    pub victim: usize,
+    /// The contended lock's id.
+    pub lock: usize,
+    /// How many times other threads acquired while the victim waited.
+    pub bypasses: usize,
+}
+
+impl std::fmt::Display for StarvationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread {} was bypassed {} times while waiting for lock {}",
+            self.victim, self.bypasses, self.lock
+        )
+    }
+}
+
+/// Per-waiter accounting while a thread is between `AcquireStart` and
+/// `Acquired`.
+///
+/// Bypass counting must not start at `AcquireStart`: the waiter has not
+/// yet executed the acquire path's **doorway** (the swap / fetch-and-add
+/// that claims its queue position), and acquisitions racing a
+/// not-yet-enqueued waiter are legitimate for any lock. The detector
+/// instead activates when the waiter demonstrably *waits*: its first spin
+/// probe (queue locks spin only after enqueueing) or the first repetition
+/// of an identical operation on the same word (the retry loop of
+/// test-and-set-style locks). From that point on, every acquisition by
+/// another thread is a bypass.
+#[derive(Debug, Clone, Copy)]
+struct Waiting {
+    lock: usize,
+    bypasses: usize,
+    /// True once the waiter is past its doorway (see above).
+    active: bool,
+    /// The waiter's previous operation since `AcquireStart`, for retry
+    /// detection.
+    last_op: Option<OpMeta>,
+}
+
+/// Analysis configuration of one run, fixed before the threads start.
+#[derive(Clone, Default)]
+pub(crate) struct RunCfg {
+    /// Fail a run when a waiter is bypassed more than this many times.
+    pub bypass_bound: Option<usize>,
+    /// Cross-run lock-order graph to feed from this run's acquisitions.
+    pub lockdep: Option<Arc<LockOrderGraph>>,
+    /// Record every executed op (schedule replay).
+    pub record_ops: bool,
 }
 
 /// Scheduler-visible state of one thread.
@@ -50,6 +208,133 @@ pub(crate) struct Shared {
     pub panic_msg: Option<String>,
     /// Tear-down flag: parked threads unwind when they observe it.
     pub aborted: bool,
+    /// Each parked thread's next operation (valid while Ready/Blocked).
+    pub pending: Vec<Option<OpMeta>>,
+    /// Happens-before engine for this run.
+    pub race: RaceDetector,
+    /// First race detected this run.
+    pub race_report: Option<RaceReport>,
+    /// First bypass-bound violation this run.
+    pub starvation: Option<StarvationReport>,
+    /// Lock ids currently held, per thread (from instrumented kernels).
+    held: Vec<Vec<usize>>,
+    /// Bypass accounting for threads inside an acquire, per thread.
+    waiting: Vec<Option<Waiting>>,
+    /// Executed-op log (empty unless `cfg.record_ops`).
+    pub oplog: Vec<OpRecord>,
+    /// Ops granted so far (the global step counter).
+    steps_taken: usize,
+    pub cfg: RunCfg,
+}
+
+impl Shared {
+    /// Applies the lock events a thread buffered since its last granted
+    /// step. Called under the run mutex at deterministic points only: when
+    /// the thread is granted a step, or when it finishes.
+    fn apply_lock_events(&mut self, pid: usize, events: &mut Vec<LockEvent>) {
+        for ev in events.drain(..) {
+            match ev {
+                LockEvent::AcquireStart(lock) => {
+                    self.waiting[pid] = Some(Waiting {
+                        lock,
+                        bypasses: 0,
+                        active: false,
+                        last_op: None,
+                    });
+                }
+                LockEvent::Acquired(lock) => {
+                    self.waiting[pid] = None;
+                    for (u, slot) in self.waiting.iter_mut().enumerate() {
+                        if u == pid {
+                            continue;
+                        }
+                        if let Some(w) = slot {
+                            if w.lock == lock && w.active {
+                                w.bypasses += 1;
+                                if let Some(bound) = self.cfg.bypass_bound {
+                                    if w.bypasses > bound && self.starvation.is_none() {
+                                        self.starvation = Some(StarvationReport {
+                                            victim: u,
+                                            lock,
+                                            bypasses: w.bypasses,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Some(graph) = &self.cfg.lockdep {
+                        graph.record_acquire(pid, &self.held[pid], lock);
+                    }
+                    self.held[pid].push(lock);
+                }
+                LockEvent::Released(lock) => {
+                    if let Some(i) = self.held[pid].iter().rposition(|&x| x == lock) {
+                        self.held[pid].remove(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds `pid`'s granted operation into its wait-state machine: a spin
+    /// probe or a repeated identical op activates bypass counting (the
+    /// waiter is demonstrably past its doorway and waiting).
+    fn note_wait_op(&mut self, pid: usize, meta: OpMeta) {
+        if let Some(w) = &mut self.waiting[pid] {
+            if w.active {
+                return;
+            }
+            if meta.kind == OpKind::SpinRead || w.last_op == Some(meta) {
+                w.active = true;
+            } else {
+                w.last_op = Some(meta);
+            }
+        }
+    }
+
+    /// Race-detector bookkeeping for one granted operation.
+    fn track_access(&mut self, pid: usize, meta: OpMeta, op_index: usize) {
+        match meta.kind {
+            OpKind::SyncLoad | OpKind::SpinRead => self.race.sync_read(pid, meta.addr),
+            OpKind::SyncStore => self.race.sync_write(pid, meta.addr),
+            OpKind::Rmw => {
+                self.race.sync_read(pid, meta.addr);
+                self.race.sync_write(pid, meta.addr);
+            }
+            OpKind::DataLoad | OpKind::DataStore => {
+                let site = AccessSite {
+                    pid,
+                    op_index,
+                    write: meta.kind.is_write(),
+                };
+                let found = if meta.kind.is_write() {
+                    self.race.data_write(pid, meta.addr, site)
+                } else {
+                    self.race.data_read(pid, meta.addr, site)
+                };
+                if let Some(r) = found {
+                    if self.race_report.is_none() {
+                        self.race_report = Some(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Logs one executed op and advances the global step counter.
+    fn finish_op(&mut self, pid: usize, meta: OpMeta) {
+        if self.cfg.record_ops {
+            self.oplog.push(OpRecord {
+                step: self.steps_taken,
+                pid,
+                kind: meta.kind,
+                addr: meta.addr,
+                value: self.memory[meta.addr],
+            });
+        }
+        self.steps_taken += 1;
+    }
 }
 
 pub(crate) struct RunState {
@@ -58,7 +343,8 @@ pub(crate) struct RunState {
 }
 
 impl RunState {
-    pub(crate) fn new(memory: Vec<Word>, nthreads: usize) -> Arc<Self> {
+    pub(crate) fn new(memory: Vec<Word>, nthreads: usize, cfg: RunCfg) -> Arc<Self> {
+        let words = memory.len();
         Arc::new(RunState {
             mu: Mutex::new(Shared {
                 memory,
@@ -66,6 +352,15 @@ impl RunState {
                 grant: None,
                 panic_msg: None,
                 aborted: false,
+                pending: vec![None; nthreads],
+                race: RaceDetector::new(nthreads, words),
+                race_report: None,
+                starvation: None,
+                held: vec![Vec::new(); nthreads],
+                waiting: vec![None; nthreads],
+                oplog: Vec::new(),
+                steps_taken: 0,
+                cfg,
             }),
             cv: Condvar::new(),
         })
@@ -78,11 +373,20 @@ pub struct ChkCtx {
     pid: usize,
     nthreads: usize,
     rs: Arc<RunState>,
+    /// Lock events emitted since the last granted step. Kernel wrappers
+    /// emit during unscheduled local code; applying them immediately would
+    /// make analysis state depend on OS-thread timing, so they are buffered
+    /// and applied under the run mutex at the next granted step (or at
+    /// thread finish) — both deterministic points of the schedule.
+    events: Vec<LockEvent>,
+    /// Shared-memory ops this thread has issued (site coordinates).
+    ops_done: usize,
 }
 
 impl ChkCtx {
-    fn step<R>(&mut self, f: impl FnOnce(&mut Vec<Word>) -> R) -> R {
+    fn step<R>(&mut self, meta: OpMeta, f: impl FnOnce(&mut Vec<Word>) -> R) -> R {
         let mut g = self.rs.mu.lock().unwrap();
+        g.pending[self.pid] = Some(meta);
         g.states[self.pid] = TState::Ready;
         self.rs.cv.notify_all();
         loop {
@@ -97,13 +401,23 @@ impl ChkCtx {
         }
         g.grant = None;
         g.states[self.pid] = TState::Running;
+        g.apply_lock_events(self.pid, &mut self.events);
+        g.note_wait_op(self.pid, meta);
+        g.track_access(self.pid, meta, self.ops_done);
         let r = f(&mut g.memory);
+        g.finish_op(self.pid, meta);
+        self.ops_done += 1;
         self.rs.cv.notify_all();
         r
     }
 
     fn spin(&mut self, addr: Addr, pred: Pred) -> Word {
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::SpinRead,
+        };
         let mut g = self.rs.mu.lock().unwrap();
+        g.pending[self.pid] = Some(meta);
         g.states[self.pid] = TState::Ready;
         self.rs.cv.notify_all();
         loop {
@@ -113,7 +427,12 @@ impl ChkCtx {
             }
             if g.grant == Some(self.pid) {
                 g.grant = None;
+                g.apply_lock_events(self.pid, &mut self.events);
+                g.note_wait_op(self.pid, meta);
+                g.track_access(self.pid, meta, self.ops_done);
                 let cur = g.memory[addr];
+                g.finish_op(self.pid, meta);
+                self.ops_done += 1;
                 if pred.satisfied(cur) {
                     g.states[self.pid] = TState::Running;
                     self.rs.cv.notify_all();
@@ -138,16 +457,32 @@ impl SyncCtx for ChkCtx {
         self.nthreads
     }
     fn load(&mut self, addr: Addr) -> Word {
-        self.step(|m| m[addr])
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::SyncLoad,
+        };
+        self.step(meta, |m| m[addr])
     }
     fn store(&mut self, addr: Addr, val: Word) {
-        self.step(|m| m[addr] = val);
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::SyncStore,
+        };
+        self.step(meta, |m| m[addr] = val);
     }
     fn swap(&mut self, addr: Addr, val: Word) -> Word {
-        self.step(|m| std::mem::replace(&mut m[addr], val))
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::Rmw,
+        };
+        self.step(meta, |m| std::mem::replace(&mut m[addr], val))
     }
     fn cas(&mut self, addr: Addr, expected: Word, new: Word) -> Result<Word, Word> {
-        self.step(|m| {
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::Rmw,
+        };
+        self.step(meta, |m| {
             let old = m[addr];
             if old == expected {
                 m[addr] = new;
@@ -158,7 +493,11 @@ impl SyncCtx for ChkCtx {
         })
     }
     fn fetch_add(&mut self, addr: Addr, delta: Word) -> Word {
-        self.step(|m| {
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::Rmw,
+        };
+        self.step(meta, |m| {
             let old = m[addr];
             m[addr] = old.wrapping_add(delta);
             old
@@ -173,6 +512,24 @@ impl SyncCtx for ChkCtx {
     /// Local time does not exist under the checker; backoff delays are
     /// no-ops (they do not affect sequential-consistency correctness).
     fn delay(&mut self, _cycles: u64) {}
+
+    fn data_load(&mut self, addr: Addr) -> Word {
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::DataLoad,
+        };
+        self.step(meta, |m| m[addr])
+    }
+    fn data_store(&mut self, addr: Addr, val: Word) {
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::DataStore,
+        };
+        self.step(meta, |m| m[addr] = val);
+    }
+    fn lock_event(&mut self, event: LockEvent) {
+        self.events.push(event);
+    }
 }
 
 /// A multi-threaded program over a small shared memory.
@@ -182,6 +539,9 @@ pub struct Program {
     pub(crate) memory_words: usize,
     pub(crate) init: Vec<(Addr, Word)>,
     pub(crate) body: Arc<dyn Fn(&mut ChkCtx) + Send + Sync>,
+    /// Lock-order graph accumulating acquisitions across every run of this
+    /// program (and, if shared, across programs).
+    pub(crate) lockdep: Option<Arc<LockOrderGraph>>,
 }
 
 impl Program {
@@ -197,12 +557,22 @@ impl Program {
             memory_words,
             init: Vec::new(),
             body: Arc::new(body),
+            lockdep: None,
         }
     }
 
     /// Sets nonzero initial memory words.
     pub fn with_init(mut self, init: Vec<(Addr, Word)>) -> Self {
         self.init = init;
+        self
+    }
+
+    /// Feeds every run's lock acquisitions (reported by instrumented
+    /// kernels through [`kernels::LockEvent`]) into `graph`. The same graph
+    /// may be shared across several programs to find lock-order inversions
+    /// no single test exhibits.
+    pub fn with_lockdep(mut self, graph: Arc<LockOrderGraph>) -> Self {
+        self.lockdep = Some(graph);
         self
     }
 
@@ -222,13 +592,21 @@ impl Program {
     /// Runs the thread body for `pid` over `rs`, translating panics into
     /// the shared state. Called from a dedicated OS thread per run.
     pub(crate) fn run_thread(&self, pid: usize, rs: Arc<RunState>) {
+        silence_abort_panics();
         let mut ctx = ChkCtx {
             pid,
             nthreads: self.nthreads,
             rs: Arc::clone(&rs),
+            events: Vec::new(),
+            ops_done: 0,
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| (self.body)(&mut ctx)));
         let mut g = rs.mu.lock().unwrap();
+        // Trailing events (e.g. the Released after a kernel's final store)
+        // are applied here: the thread finishing is itself a deterministic
+        // schedule point — the scheduler does not take decisions while any
+        // thread is still Running.
+        g.apply_lock_events(pid, &mut ctx.events);
         if let Err(payload) = outcome {
             if payload.downcast_ref::<ChkAbort>().is_none() {
                 let msg = payload
@@ -278,5 +656,66 @@ mod tests {
     #[should_panic(expected = "threads supported")]
     fn zero_threads_rejected() {
         Program::new(0, 1, |_| {});
+    }
+
+    #[test]
+    fn op_dependence_is_write_centric() {
+        let r = |addr| OpMeta {
+            addr,
+            kind: OpKind::SyncLoad,
+        };
+        let w = |addr| OpMeta {
+            addr,
+            kind: OpKind::SyncStore,
+        };
+        assert!(!r(0).dependent(r(0)), "two reads commute");
+        assert!(r(0).dependent(w(0)));
+        assert!(w(0).dependent(w(0)));
+        assert!(!w(0).dependent(w(1)), "different words commute");
+    }
+
+    #[test]
+    fn bypass_accounting_flags_over_bound() {
+        let cfg = RunCfg {
+            bypass_bound: Some(1),
+            ..RunCfg::default()
+        };
+        let rs = RunState::new(vec![0; 4], 2, cfg);
+        let mut g = rs.mu.lock().unwrap();
+        let mut waiter = vec![LockEvent::AcquireStart(7)];
+        g.apply_lock_events(0, &mut waiter);
+        // The wait arms at AcquireStart and activates at the waiter's
+        // first spin probe.
+        g.note_wait_op(
+            0,
+            OpMeta {
+                addr: 0,
+                kind: OpKind::SpinRead,
+            },
+        );
+        // Thread 1 acquires and releases twice while 0 waits.
+        for _ in 0..2 {
+            let mut evs = vec![LockEvent::Acquired(7), LockEvent::Released(7)];
+            g.apply_lock_events(1, &mut evs);
+        }
+        let s = g.starvation.expect("second bypass exceeds bound 1");
+        assert_eq!(s.victim, 0);
+        assert_eq!(s.lock, 7);
+        assert_eq!(s.bypasses, 2);
+    }
+
+    #[test]
+    fn held_set_tracks_nested_acquisitions() {
+        let rs = RunState::new(vec![0; 1], 1, RunCfg::default());
+        let mut g = rs.mu.lock().unwrap();
+        let mut evs = vec![
+            LockEvent::Acquired(1),
+            LockEvent::Acquired(2),
+            LockEvent::Released(2),
+            LockEvent::Released(1),
+        ];
+        g.apply_lock_events(0, &mut evs);
+        assert!(g.held[0].is_empty());
+        assert!(evs.is_empty(), "events are drained");
     }
 }

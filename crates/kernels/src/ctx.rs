@@ -2,6 +2,23 @@
 
 use crate::{Addr, Word};
 
+/// A lock-usage event, reported through [`SyncCtx::lock_event`] by
+/// instrumented kernels (see [`crate::lockdep::InstrumentedLock`]).
+///
+/// The `usize` is a caller-chosen lock identity (stable across threads and
+/// runs), letting substrates build cross-lock analyses: the interleave
+/// checker uses these events for lock-order (lockdep) recording and
+/// bounded-bypass starvation accounting, the simulator ignores them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockEvent {
+    /// The thread is about to start acquiring the lock (may block/spin).
+    AcquireStart(usize),
+    /// The thread now holds the lock.
+    Acquired(usize),
+    /// The thread has released the lock.
+    Released(usize),
+}
+
 /// Everything a synchronization kernel may do: the instruction set of a
 /// 1991 shared-memory multiprocessor, plus a watchpoint-based local spin.
 ///
@@ -38,6 +55,30 @@ pub trait SyncCtx {
     /// already nonzero.
     fn test_and_set(&mut self, addr: Addr) -> bool {
         self.swap(addr, 1) != 0
+    }
+
+    /// Reads a word of **data** memory — an access the surrounding
+    /// synchronization protocol, not the access itself, is responsible for
+    /// ordering. On the 1991 machine this is the same instruction as
+    /// [`SyncCtx::load`]; the distinction exists so checking substrates can
+    /// run happens-before race detection over data accesses while treating
+    /// kernel-internal loads/stores as the synchronization that *creates*
+    /// ordering. Substrates without a race detector execute it as a plain
+    /// load.
+    fn data_load(&mut self, addr: Addr) -> Word {
+        self.load(addr)
+    }
+
+    /// Writes a word of **data** memory; see [`SyncCtx::data_load`].
+    fn data_store(&mut self, addr: Addr, val: Word) {
+        self.store(addr, val);
+    }
+
+    /// Reports a lock-usage event from an instrumented kernel. Analysis
+    /// substrates (the interleave checker) consume these for lock-order
+    /// and starvation accounting; performance substrates ignore them.
+    fn lock_event(&mut self, event: LockEvent) {
+        let _ = event;
     }
 }
 

@@ -35,11 +35,13 @@ pub mod barriers;
 pub mod ctx;
 pub mod events;
 pub mod layout;
+pub mod lockdep;
 pub mod locks;
 pub mod rwlock;
 
-pub use ctx::SyncCtx;
+pub use ctx::{LockEvent, SyncCtx};
 pub use layout::Region;
+pub use lockdep::LockOrderGraph;
 
 /// A machine word (re-exported from the simulator for convenience).
 pub type Word = memsim::Word;

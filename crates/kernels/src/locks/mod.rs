@@ -65,6 +65,30 @@ pub trait LockKernel: Sync {
     fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, ps: &mut u64, token: u64);
 }
 
+/// Shared ownership delegates: `Arc<L>` is itself a kernel, so wrappers
+/// like [`crate::lockdep::InstrumentedLock`] compose with the registry's
+/// `Arc<dyn LockKernel>` handles.
+impl<L: LockKernel + Send + Sync + ?Sized> LockKernel for std::sync::Arc<L> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn lines_needed(&self, nprocs: usize) -> usize {
+        (**self).lines_needed(nprocs)
+    }
+    fn init(&self, nprocs: usize, region: &Region) -> Vec<(Addr, Word)> {
+        (**self).init(nprocs, region)
+    }
+    fn proc_init(&self, pid: usize, region: &Region) -> u64 {
+        (**self).proc_init(pid, region)
+    }
+    fn acquire(&self, ctx: &mut dyn SyncCtx, region: &Region, ps: &mut u64) -> u64 {
+        (**self).acquire(ctx, region, ps)
+    }
+    fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, ps: &mut u64, token: u64) {
+        (**self).release(ctx, region, ps, token)
+    }
+}
+
 /// Every lock in the study, in the order the figures list them.
 pub fn all_locks() -> Vec<Box<dyn LockKernel + Send + Sync>> {
     vec![

@@ -1,9 +1,14 @@
 //! Property-based tests of the simulated machine: randomly generated
 //! programs must satisfy the architectural invariants regardless of
 //! topology, processor count, or operation mix.
+//!
+//! The corpus is generated with the workspace's own deterministic
+//! `simcore::Rng` (fixed seeds, so failures reproduce exactly) rather than
+//! an external property-testing framework — the workspace builds with no
+//! registry access.
 
 use memsim::{Machine, MachineParams, Topology};
-use proptest::prelude::*;
+use simcore::Rng;
 
 /// A single random operation in a generated program.
 #[derive(Debug, Clone, Copy)]
@@ -17,21 +22,30 @@ enum GenOp {
 }
 
 const WORDS: usize = 24;
+/// Random programs checked per property.
+const CASES: usize = 48;
 
-fn op_strategy() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (0..WORDS).prop_map(GenOp::Load),
-        (0..WORDS, 0..50u64).prop_map(|(a, v)| GenOp::Store(a, v)),
-        (0..WORDS, 1..5u64).prop_map(|(a, d)| GenOp::FetchAdd(a, d)),
-        (0..WORDS, 0..50u64).prop_map(|(a, v)| GenOp::Swap(a, v)),
-        (0..WORDS, 0..5u64, 0..50u64).prop_map(|(a, e, n)| GenOp::Cas(a, e, n)),
-        (0..40u64).prop_map(GenOp::Delay),
-    ]
+fn gen_op(rng: &mut Rng) -> GenOp {
+    let addr = rng.next_below(WORDS as u64) as usize;
+    match rng.next_below(6) {
+        0 => GenOp::Load(addr),
+        1 => GenOp::Store(addr, rng.next_below(50)),
+        2 => GenOp::FetchAdd(addr, 1 + rng.next_below(4)),
+        3 => GenOp::Swap(addr, rng.next_below(50)),
+        4 => GenOp::Cas(addr, rng.next_below(5), rng.next_below(50)),
+        _ => GenOp::Delay(rng.next_below(40)),
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = Vec<Vec<GenOp>>> {
-    // 1..=6 processors, each with up to 30 operations.
-    prop::collection::vec(prop::collection::vec(op_strategy(), 0..30), 1..=6)
+/// 1..=6 processors, each with up to 30 operations.
+fn gen_program(rng: &mut Rng) -> Vec<Vec<GenOp>> {
+    let nprocs = 1 + rng.next_below(6) as usize;
+    (0..nprocs)
+        .map(|_| {
+            let len = rng.next_below(30) as usize;
+            (0..len).map(|_| gen_op(rng)).collect()
+        })
+        .collect()
 }
 
 fn run_program(params: MachineParams, prog: &[Vec<GenOp>]) -> memsim::RunReport {
@@ -60,65 +74,92 @@ fn run_program(params: MachineParams, prog: &[Vec<GenOp>]) -> memsim::RunReport 
         .expect("straight-line programs cannot deadlock")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Determinism: the same program produces identical metrics and memory
-    /// on repeated runs, on both topologies.
-    #[test]
-    fn random_programs_are_deterministic(prog in program_strategy()) {
-        for params in [MachineParams::bus_1991(prog.len()), MachineParams::numa_1991(prog.len())] {
+/// Determinism: the same program produces identical metrics and memory
+/// on repeated runs, on both topologies.
+#[test]
+fn random_programs_are_deterministic() {
+    let mut rng = Rng::new(1);
+    for case in 0..CASES {
+        let prog = gen_program(&mut rng);
+        for params in [
+            MachineParams::bus_1991(prog.len()),
+            MachineParams::numa_1991(prog.len()),
+        ] {
             let a = run_program(params.clone(), &prog);
             let b = run_program(params, &prog);
-            prop_assert_eq!(&a.memory, &b.memory);
-            prop_assert_eq!(&a.metrics, &b.metrics);
+            assert_eq!(a.memory, b.memory, "case {case}: memory diverged");
+            assert_eq!(a.metrics, b.metrics, "case {case}: metrics diverged");
         }
     }
+}
 
-    /// Accounting: hits + misses == loads + stores + rmws (every access is
-    /// classified exactly once), and every upgrade is also counted as a hit
-    /// or... rather: upgrades never exceed write-class operations.
-    #[test]
-    fn access_accounting_balances(prog in program_strategy()) {
+/// Accounting: hits + misses + upgrades == every access classified exactly
+/// once.
+#[test]
+fn access_accounting_balances() {
+    let mut rng = Rng::new(2);
+    for case in 0..CASES {
+        let prog = gen_program(&mut rng);
         let report = run_program(MachineParams::bus_1991(prog.len()), &prog);
-        let m = &report.metrics;
-        for pm in &m.per_proc {
-            // Upgrades are neither hits nor misses in our classification;
-            // the three classes partition all accesses.
-            prop_assert_eq!(pm.hits + pm.misses + pm.upgrades, pm.ops());
+        for pm in &report.metrics.per_proc {
+            assert_eq!(
+                pm.hits + pm.misses + pm.upgrades,
+                pm.ops(),
+                "case {case}: access classes do not partition"
+            );
         }
     }
+}
 
-    /// Conservation: an address touched only by fetch_add ends at the sum
-    /// of its deltas.
-    #[test]
-    fn fetch_add_conserves(deltas in prop::collection::vec(prop::collection::vec(1..7u64, 0..20), 1..=5)) {
+/// Conservation: an address touched only by fetch_add ends at the sum
+/// of its deltas.
+#[test]
+fn fetch_add_conserves() {
+    let mut rng = Rng::new(3);
+    for case in 0..CASES {
+        let nprocs = 1 + rng.next_below(5) as usize;
+        let deltas: Vec<Vec<u64>> = (0..nprocs)
+            .map(|_| {
+                let len = rng.next_below(20) as usize;
+                (0..len).map(|_| 1 + rng.next_below(6)).collect()
+            })
+            .collect();
         let machine = Machine::new(MachineParams::bus_1991(deltas.len()));
         let expected: u64 = deltas.iter().flatten().sum();
-        let report = machine.run(deltas.len(), 1, |p| {
-            for &d in &deltas[p.pid()] {
-                p.fetch_add(0, d);
-            }
-        }).unwrap();
-        prop_assert_eq!(report.memory[0], expected);
+        let report = machine
+            .run(deltas.len(), 1, |p| {
+                for &d in &deltas[p.pid()] {
+                    p.fetch_add(0, d);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[0], expected, "case {case}: deltas lost");
     }
+}
 
-    /// Value domain: a word only ever holds a value some operation wrote
-    /// (or its initial zero) — the final memory is drawn from the write set.
-    #[test]
-    fn final_values_come_from_writes(prog in program_strategy()) {
+/// Value domain: a word only ever holds a value some operation wrote
+/// (or its initial zero) — the final memory is drawn from the write set.
+#[test]
+fn final_values_come_from_writes() {
+    let mut rng = Rng::new(4);
+    for case in 0..CASES {
+        let prog = gen_program(&mut rng);
         let report = run_program(MachineParams::bus_1991(prog.len()), &prog);
-        // Collect every value any op could produce per address.
+        // Collect every value any op could produce per address. Fetch-add
+        // makes exact value sets expensive; only check addresses it never
+        // touches.
         let mut possible: Vec<std::collections::HashSet<u64>> =
             vec![std::iter::once(0).collect(); WORDS];
-        // Fetch-add makes exact value sets expensive; only check addresses
-        // never touched by fetch_add.
         let mut has_fa = [false; WORDS];
         for ops in &prog {
             for &op in ops {
                 match op {
-                    GenOp::Store(a, v) | GenOp::Swap(a, v) => { possible[a].insert(v); }
-                    GenOp::Cas(a, _, n) => { possible[a].insert(n); }
+                    GenOp::Store(a, v) | GenOp::Swap(a, v) => {
+                        possible[a].insert(v);
+                    }
+                    GenOp::Cas(a, _, n) => {
+                        possible[a].insert(n);
+                    }
                     GenOp::FetchAdd(a, _) => has_fa[a] = true,
                     _ => {}
                 }
@@ -126,30 +167,45 @@ proptest! {
         }
         for a in 0..WORDS {
             if !has_fa[a] {
-                prop_assert!(
+                assert!(
                     possible[a].contains(&report.memory[a]),
-                    "word {} holds {} which nothing wrote", a, report.memory[a]
+                    "case {case}: word {a} holds {} which nothing wrote",
+                    report.memory[a]
                 );
             }
         }
     }
+}
 
-    /// Time monotonicity: elapsed time is at least each processor's total
-    /// explicit delay, and interconnect transactions are bounded by misses
-    /// plus upgrades.
-    #[test]
-    fn timing_and_traffic_bounds(prog in program_strategy()) {
+/// Time monotonicity: elapsed time is at least each processor's total
+/// explicit delay, and interconnect transactions are bounded by misses
+/// plus upgrades.
+#[test]
+fn timing_and_traffic_bounds() {
+    let mut rng = Rng::new(5);
+    for case in 0..CASES {
+        let prog = gen_program(&mut rng);
         let report = run_program(MachineParams::bus_1991(prog.len()), &prog);
         let m = &report.metrics;
         for (pid, ops) in prog.iter().enumerate() {
-            let delays: u64 = ops.iter().map(|op| match op {
-                GenOp::Delay(c) => *c,
-                _ => 0,
-            }).sum();
-            prop_assert!(m.per_proc[pid].finish_time >= delays);
+            let delays: u64 = ops
+                .iter()
+                .map(|op| match op {
+                    GenOp::Delay(c) => *c,
+                    _ => 0,
+                })
+                .sum();
+            assert!(
+                m.per_proc[pid].finish_time >= delays,
+                "case {case}: proc {pid} finished before its own delays"
+            );
         }
-        let classified: u64 = m.misses() + m.per_proc.iter().map(|p| p.upgrades).sum::<u64>();
-        prop_assert_eq!(m.interconnect_transactions, classified);
+        let classified: u64 =
+            m.misses() + m.per_proc.iter().map(|p| p.upgrades).sum::<u64>();
+        assert_eq!(
+            m.interconnect_transactions, classified,
+            "case {case}: unclassified interconnect traffic"
+        );
     }
 }
 
