@@ -1,0 +1,141 @@
+//! bench_sim — regenerates every figure **in one process** and records the
+//! wall-clock cost per figure in a machine-readable `BENCH_sim.json`.
+//!
+//! This is the measurement the tentpole perf work is judged by: rendering
+//! all figures in a single process is exactly what a full regeneration
+//! does, minus per-binary process spawns, and it shares one warm worker
+//! pool across every simulation. Per-figure progress goes to stderr;
+//! stdout reports only where the JSON landed.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_sim [-- --quick|--full] [--out PATH]
+//! ```
+
+use bench::figures::FIGURES;
+use bench::Opts;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: bench_sim [--quick | --full] [--only IDS] [--out PATH] [--help]
+
+  --quick     reduced sweeps (the CI perf-smoke configuration)
+  --full      full sweeps (default; the publication figures)
+  --only IDS  comma-separated figure ids to run (default: all)
+  --out PATH  where to write the JSON report (default BENCH_sim.json)
+  --help      show this help";
+
+struct Args {
+    quick: bool,
+    only: Option<Vec<String>>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        only: None,
+        out: "BENCH_sim.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--full" => args.quick = false,
+            "--only" => match it.next() {
+                Some(ids) => {
+                    args.only = Some(ids.split(',').map(str::to_string).collect());
+                }
+                None => {
+                    eprintln!("error: --only needs a comma-separated id list");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => args.out = path,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unrecognized argument `{other}`");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = Opts {
+        csv: false,
+        quick: args.quick,
+    };
+    let mode = if args.quick { "quick" } else { "full" };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = workloads::sweeps::sweep_threads();
+
+    let selected: Vec<_> = FIGURES
+        .iter()
+        .filter(|f| args.only.as_ref().is_none_or(|ids| ids.iter().any(|i| i == f.id)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("error: --only matched no figure ids");
+        std::process::exit(2);
+    }
+
+    let mut figure_entries = String::new();
+    let mut deterministic_ms = 0.0f64;
+    let total_start = Instant::now();
+    for (i, figure) in selected.iter().enumerate() {
+        let start = Instant::now();
+        let rendered = (figure.render)(&opts);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // The output itself is checked by the golden test; here it only
+        // has to be fully produced.
+        std::hint::black_box(rendered.len());
+        if figure.deterministic {
+            deterministic_ms += wall_ms;
+        }
+        eprintln!("{:<8} {:>9.1} ms", figure.id, wall_ms);
+        let _ = write!(
+            figure_entries,
+            "{}    {{\"id\":\"{}\",\"binary\":\"{}\",\"deterministic\":{},\"wall_ms\":{:.1}}}",
+            if i == 0 { "" } else { ",\n" },
+            figure.id,
+            figure.binary,
+            figure.deterministic,
+            wall_ms
+        );
+    }
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+
+    let json = format!(
+        "{{\n  \"schema\": \"syncmech-bench-sim/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"host_cores\": {host_cores},\n  \"sweep_threads\": {threads},\n  \
+         \"figures\": [\n{figure_entries}\n  ],\n  \
+         \"deterministic_wall_ms\": {deterministic_ms:.1},\n  \
+         \"total_wall_ms\": {total_ms:.1}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error: writing {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({mode} mode, {} figures, {:.1} ms total)",
+        args.out,
+        selected.len(),
+        total_ms
+    );
+}

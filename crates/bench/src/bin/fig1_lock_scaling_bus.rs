@@ -9,15 +9,6 @@
 //! cargo run -p bench --release --bin fig1_lock_scaling_bus [-- --csv]
 //! ```
 
-use bench::{emit_final_ratio, emit_series, Opts};
-use workloads::sweeps::{lock_scaling, MachineKind};
-
 fn main() {
-    let opts = Opts::from_env();
-    let series = lock_scaling(MachineKind::Bus, &opts.procs(), opts.iters());
-    emit_series(&opts, "Fig 1: lock passing time vs P (bus machine)", &series);
-    if !opts.csv {
-        emit_final_ratio(&series, "tas", "qsm");
-        emit_final_ratio(&series, "ttas", "qsm");
-    }
+    bench::figures::run_main("fig1");
 }

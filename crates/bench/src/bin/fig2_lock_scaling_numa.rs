@@ -8,14 +8,6 @@
 //! cargo run -p bench --release --bin fig2_lock_scaling_numa [-- --csv]
 //! ```
 
-use bench::{emit_final_ratio, emit_series, Opts};
-use workloads::sweeps::{lock_scaling, MachineKind};
-
 fn main() {
-    let opts = Opts::from_env();
-    let series = lock_scaling(MachineKind::Numa, &opts.procs(), opts.iters());
-    emit_series(&opts, "Fig 2: lock passing time vs P (NUMA machine)", &series);
-    if !opts.csv {
-        emit_final_ratio(&series, "tas", "qsm");
-    }
+    bench::figures::run_main("fig2");
 }

@@ -8,18 +8,6 @@
 //! cargo run -p bench --release --bin fig3_traffic [-- --csv]
 //! ```
 
-use bench::{emit_final_ratio, emit_series, Opts};
-use workloads::sweeps::{lock_traffic, MachineKind};
-
 fn main() {
-    let opts = Opts::from_env();
-    let series = lock_traffic(MachineKind::Bus, &opts.procs(), opts.iters());
-    emit_series(
-        &opts,
-        "Fig 3: interconnect transactions per critical section vs P (bus)",
-        &series,
-    );
-    if !opts.csv {
-        emit_final_ratio(&series, "tas", "qsm");
-    }
+    bench::figures::run_main("fig3");
 }

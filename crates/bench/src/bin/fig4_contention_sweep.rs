@@ -10,22 +10,6 @@
 //! cargo run -p bench --release --bin fig4_contention_sweep [-- --csv]
 //! ```
 
-use bench::{emit_series, Opts};
-use workloads::sweeps::{contention_sweep, MachineKind};
-
 fn main() {
-    let opts = Opts::from_env();
-    let holds: Vec<u64> = if opts.quick {
-        vec![0, 64, 256]
-    } else {
-        vec![0, 8, 16, 32, 64, 128, 256, 512]
-    };
-    let nprocs = if opts.quick { 4 } else { 16 };
-    let iters = if opts.quick { 4 } else { 10 };
-    let series = contention_sweep(MachineKind::Bus, nprocs, &holds, iters);
-    emit_series(
-        &opts,
-        &format!("Fig 4: throughput vs critical-section hold time (bus, P = {nprocs})"),
-        &series,
-    );
+    bench::figures::run_main("fig4");
 }

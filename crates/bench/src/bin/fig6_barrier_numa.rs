@@ -9,14 +9,6 @@
 //! cargo run -p bench --release --bin fig6_barrier_numa [-- --csv]
 //! ```
 
-use bench::{emit_final_ratio, emit_series, Opts};
-use workloads::sweeps::{barrier_scaling, MachineKind};
-
 fn main() {
-    let opts = Opts::from_env();
-    let series = barrier_scaling(MachineKind::Numa, &opts.procs(), opts.episodes());
-    emit_series(&opts, "Fig 6: barrier episode time vs P (NUMA machine)", &series);
-    if !opts.csv {
-        emit_final_ratio(&series, "central", "qsm-tree");
-    }
+    bench::figures::run_main("fig6");
 }

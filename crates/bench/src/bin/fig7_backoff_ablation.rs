@@ -1,83 +1,11 @@
 //! fig7 — ablation: sensitivity to backoff parameters, plus the QSM
-//! design-choice ablations called out in DESIGN.md.
-//!
-//! Three panels:
-//! 1. test-and-set backoff cap sweep (cap 0 = plain TAS behaviour);
-//! 2. proportional-ticket factor sweep (too eager ⇒ storming, too lazy ⇒
-//!    idle hand-off gaps);
-//! 3. QSM with the CAS fast path disabled (always enqueue) vs stock QSM —
-//!    the fast path must not cost anything under contention and must win
-//!    when uncontended.
+//! design-choice ablations called out in DESIGN.md (see
+//! `bench::figures::fig7` for the panels).
 //!
 //! ```text
 //! cargo run -p bench --release --bin fig7_backoff_ablation [-- --csv]
 //! ```
 
-use bench::{emit_series, Opts};
-use kernels::locks::{qsm::QsmLock, LockKernel};
-use kernels::{Region, SyncCtx};
-use simcore::Series;
-use workloads::csbench::{self, CsConfig};
-use workloads::sweeps::{backoff_ablation, MachineKind};
-
-/// QSM with the fast path removed: every acquire enqueues via swap.
-/// Used only by this ablation.
-#[derive(Debug, Clone, Copy, Default)]
-struct QsmNoFastPath;
-
-impl LockKernel for QsmNoFastPath {
-    fn name(&self) -> &'static str {
-        "qsm-no-fastpath"
-    }
-    fn lines_needed(&self, nprocs: usize) -> usize {
-        QsmLock.lines_needed(nprocs)
-    }
-    fn proc_init(&self, pid: usize, region: &Region) -> u64 {
-        QsmLock.proc_init(pid, region)
-    }
-    fn acquire(&self, ctx: &mut dyn SyncCtx, region: &Region, ps: &mut u64) -> u64 {
-        let me = ctx.pid() as u64 + 1;
-        ctx.store(QsmLock::next(region, me), 0);
-        let prev = ctx.swap(QsmLock::tail(region), me);
-        if prev != 0 {
-            ctx.store(QsmLock::next(region, prev), me);
-            ctx.spin_while(QsmLock::grant(region, me), *ps);
-            *ps += 1;
-        }
-        0
-    }
-    fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, ps: &mut u64, token: u64) {
-        QsmLock.release(ctx, region, ps, token);
-    }
-}
-
 fn main() {
-    let opts = Opts::from_env();
-    let nprocs = if opts.quick { 4 } else { 16 };
-    let iters = if opts.quick { 4 } else { 10 };
-
-    let series = backoff_ablation(MachineKind::Bus, nprocs, iters);
-    emit_series(
-        &opts,
-        &format!("Fig 7a/7b: backoff parameter sensitivity (bus, P = {nprocs})"),
-        &series,
-    );
-
-    // Panel 3: fast-path ablation, contended and uncontended.
-    let mut fp = Series::new("P", "cycles per critical section");
-    for &p in &[1usize, nprocs] {
-        let machine = MachineKind::Bus.machine(p);
-        let cfg = CsConfig {
-            think: 0,
-            jitter: false,
-            hold: 20,
-            ..CsConfig::new(p, iters)
-        };
-        let stock = csbench::run(&machine, &QsmLock, &cfg).expect("qsm");
-        let ablated = csbench::run(&machine, &QsmNoFastPath, &cfg).expect("qsm-no-fastpath");
-        fp.push("qsm", p as u64, stock.passing_time);
-        fp.push("qsm-no-fastpath", p as u64, ablated.passing_time);
-    }
-    println!();
-    emit_series(&opts, "Fig 7c: QSM fast-path ablation", &fp);
+    bench::figures::run_main("fig7");
 }

@@ -11,38 +11,6 @@
 //! cargo run -p bench --release --bin fig8_realhw [-- --csv]
 //! ```
 
-use bench::Opts;
-use simcore::Table;
-use workloads::realhw::sweep;
-
 fn main() {
-    let opts = Opts::from_env();
-    let threads = if opts.quick {
-        vec![1, 2]
-    } else {
-        vec![1, 2, 4]
-    };
-    let iters = if opts.quick { 20_000 } else { 200_000 };
-    let rows = sweep(&threads, iters);
-    let mut header = vec!["lock".to_string(), "uncontended ns/op".to_string()];
-    for t in &threads {
-        header.push(format!("CS/ms @{t}T"));
-    }
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = Table::new(&header_refs).with_title(format!(
-        "Fig 8: real hardware ({} host cores), {iters} iterations",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    ));
-    for row in rows {
-        let mut cells = vec![row.name.to_string(), format!("{:.0}", row.uncontended_ns)];
-        for (_, thr) in &row.throughput {
-            cells.push(format!("{thr:.0}"));
-        }
-        table.row_owned(cells);
-    }
-    if opts.csv {
-        print!("{}", table.render_csv());
-    } else {
-        print!("{}", table.render());
-    }
+    bench::figures::run_main("fig8");
 }

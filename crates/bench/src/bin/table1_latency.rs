@@ -4,28 +4,6 @@
 //! cargo run -p bench --release --bin table1_latency [-- --csv]
 //! ```
 
-use bench::Opts;
-use simcore::table::{fmt_cell, Table};
-use workloads::sweeps::{uncontended_table, MachineKind};
-
 fn main() {
-    let opts = Opts::from_env();
-    let mut table = Table::new(&["primitive", "bus cycles", "numa cycles"])
-        .with_title("Table 1: uncontended latency per operation (P = 1)");
-    let bus = uncontended_table(MachineKind::Bus);
-    let numa = uncontended_table(MachineKind::Numa);
-    for ((name, b), (name2, n)) in bus.into_iter().zip(numa) {
-        assert_eq!(name, name2);
-        table.row_owned(vec![name, fmt_cell(b), fmt_cell(n)]);
-    }
-    if opts.csv {
-        print!("{}", table.render_csv());
-    } else {
-        print!("{}", table.render());
-        println!();
-        println!(
-            "(lock rows: one acquire+release; barrier rows: one episode net of work.\n\
-             Log-round barriers cost 0 at P = 1 — they have no work to do.)"
-        );
-    }
+    bench::figures::run_main("table1");
 }

@@ -9,48 +9,6 @@
 //! cargo run -p bench --release --bin table2_fairness [-- --csv]
 //! ```
 
-use bench::Opts;
-use kernels::locks::all_locks;
-use simcore::table::{fmt_cell, Table};
-use workloads::fairness::{run, FairnessConfig};
-use workloads::sweeps::MachineKind;
-
 fn main() {
-    let opts = Opts::from_env();
-    let nprocs = if opts.quick { 4 } else { 32 };
-    let cfg = FairnessConfig {
-        nprocs,
-        total_cs: nprocs * if opts.quick { 8 } else { 64 },
-        hold: 30,
-    };
-    let mut table = Table::new(&[
-        "lock",
-        "cv(counts)",
-        "jain",
-        "max denial (hand-offs)",
-        "min/max count",
-    ])
-    .with_title(format!(
-        "Table 2: fairness under continuous contention (bus, P = {nprocs}, {} CS)",
-        cfg.total_cs
-    ));
-    for lock in all_locks() {
-        let machine = MachineKind::Bus.machine(nprocs);
-        let r = run(&machine, lock.as_ref(), &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", lock.name()));
-        let min = r.counts.iter().min().copied().unwrap_or(0);
-        let max = r.counts.iter().max().copied().unwrap_or(0);
-        table.row_owned(vec![
-            lock.name().to_string(),
-            format!("{:.3}", r.cv),
-            format!("{:.3}", r.jain),
-            r.max_denial.to_string(),
-            format!("{}/{}", fmt_cell(min as f64), fmt_cell(max as f64)),
-        ]);
-    }
-    if opts.csv {
-        print!("{}", table.render_csv());
-    } else {
-        print!("{}", table.render());
-    }
+    bench::figures::run_main("table2");
 }

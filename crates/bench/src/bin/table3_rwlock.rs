@@ -9,51 +9,6 @@
 //! cargo run -p bench --release --bin table3_rwlock [-- --csv]
 //! ```
 
-use bench::Opts;
-use simcore::Table;
-use workloads::rwbench::{run_mutex, run_rwlock, RwConfig};
-use workloads::sweeps::MachineKind;
-
 fn main() {
-    let opts = Opts::from_env();
-    let nprocs = if opts.quick { 4 } else { 16 };
-    let iters = if opts.quick { 8 } else { 16 };
-    let fractions: &[f64] = if opts.quick {
-        &[0.0, 0.9]
-    } else {
-        &[0.0, 0.25, 0.5, 0.75, 0.9, 0.99]
-    };
-    let mut table = Table::new(&[
-        "read fraction",
-        "rwlock ops/kcyc",
-        "mutex ops/kcyc",
-        "speedup",
-    ])
-    .with_title(format!(
-        "Table 3 (extension): reader/writer mix, bus machine, P = {nprocs}"
-    ));
-    for &f in fractions {
-        let cfg = RwConfig {
-            nprocs,
-            iters,
-            read_fraction: f,
-            read_hold: 400,
-            write_hold: 60,
-            seed: 0x7777,
-        };
-        let machine = MachineKind::Bus.machine(nprocs);
-        let rw = run_rwlock(&machine, &cfg).expect("rwlock trial");
-        let mx = run_mutex(&machine, &cfg).expect("mutex trial");
-        table.row_owned(vec![
-            format!("{:.0}%", f * 100.0),
-            format!("{:.2}", rw.throughput),
-            format!("{:.2}", mx.throughput),
-            format!("{:.2}x", rw.throughput / mx.throughput),
-        ]);
-    }
-    if opts.csv {
-        print!("{}", table.render_csv());
-    } else {
-        print!("{}", table.render());
-    }
+    bench::figures::run_main("table3");
 }

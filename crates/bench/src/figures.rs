@@ -1,0 +1,432 @@
+//! The figure registry: every table and figure of the reconstructed
+//! evaluation as a string-returning render function.
+//!
+//! The `src/bin/` binaries are one-line wrappers over [`run_main`]; the
+//! `bench_sim` binary walks [`FIGURES`] in one process to measure full
+//! regeneration wall-clock; the golden-output regression test renders
+//! every deterministic figure in quick mode and diffs the bytes against
+//! committed files. Keeping rendering as `fn(&Opts) -> String` is what
+//! lets all three share one definition of "the figure".
+
+use crate::{final_ratio_block, series_block, Opts};
+use kernels::locks::{qsm::QsmLock, LockKernel};
+use kernels::{Region, SyncCtx};
+use simcore::table::{fmt_cell, Table};
+use simcore::Series;
+use workloads::csbench::{self, CsConfig};
+use workloads::rwbench::{run_mutex, run_rwlock, RwConfig};
+use workloads::sweeps::{
+    backoff_ablation, barrier_scaling, contention_sweep, lock_scaling, lock_traffic,
+    uncontended_table, MachineKind,
+};
+
+/// One entry of the evaluation: a figure or table binary.
+pub struct Figure {
+    /// Short id (`fig1` … `fig8`, `table1` … `table3`).
+    pub id: &'static str,
+    /// Binary name — also the stem of the committed `results/` file.
+    pub binary: &'static str,
+    /// True when the output is a pure function of `Opts` (everything but
+    /// the real-hardware fig8): these are the byte-identity goldens.
+    pub deterministic: bool,
+    /// Renders the figure under the given options.
+    pub render: fn(&Opts) -> String,
+}
+
+/// Every figure, in publication order.
+pub static FIGURES: &[Figure] = &[
+    Figure {
+        id: "fig1",
+        binary: "fig1_lock_scaling_bus",
+        deterministic: true,
+        render: fig1,
+    },
+    Figure {
+        id: "fig2",
+        binary: "fig2_lock_scaling_numa",
+        deterministic: true,
+        render: fig2,
+    },
+    Figure {
+        id: "fig3",
+        binary: "fig3_traffic",
+        deterministic: true,
+        render: fig3,
+    },
+    Figure {
+        id: "fig4",
+        binary: "fig4_contention_sweep",
+        deterministic: true,
+        render: fig4,
+    },
+    Figure {
+        id: "fig5",
+        binary: "fig5_barrier_bus",
+        deterministic: true,
+        render: fig5,
+    },
+    Figure {
+        id: "fig6",
+        binary: "fig6_barrier_numa",
+        deterministic: true,
+        render: fig6,
+    },
+    Figure {
+        id: "fig7",
+        binary: "fig7_backoff_ablation",
+        deterministic: true,
+        render: fig7,
+    },
+    Figure {
+        id: "fig8",
+        binary: "fig8_realhw",
+        deterministic: false,
+        render: fig8,
+    },
+    Figure {
+        id: "table1",
+        binary: "table1_latency",
+        deterministic: true,
+        render: table1,
+    },
+    Figure {
+        id: "table2",
+        binary: "table2_fairness",
+        deterministic: true,
+        render: table2,
+    },
+    Figure {
+        id: "table3",
+        binary: "table3_rwlock",
+        deterministic: true,
+        render: table3,
+    },
+];
+
+/// Looks a figure up by its short id.
+pub fn by_id(id: &str) -> Option<&'static Figure> {
+    FIGURES.iter().find(|f| f.id == id)
+}
+
+/// The shared `main` of the thin figure binaries: parse options, render,
+/// print.
+pub fn run_main(id: &str) {
+    let figure = by_id(id).unwrap_or_else(|| panic!("unknown figure id {id}"));
+    let opts = Opts::from_env();
+    print!("{}", (figure.render)(&opts));
+}
+
+/// fig1 — lock passing time vs processor count on the bus machine.
+pub fn fig1(opts: &Opts) -> String {
+    let series = lock_scaling(MachineKind::Bus, &opts.procs(), opts.iters());
+    let mut out = series_block(opts, "Fig 1: lock passing time vs P (bus machine)", &series);
+    if !opts.csv {
+        out.push_str(&final_ratio_block(&series, "tas", "qsm"));
+        out.push_str(&final_ratio_block(&series, "ttas", "qsm"));
+    }
+    out
+}
+
+/// fig2 — lock passing time vs processor count on the NUMA machine.
+pub fn fig2(opts: &Opts) -> String {
+    let series = lock_scaling(MachineKind::Numa, &opts.procs(), opts.iters());
+    let mut out = series_block(opts, "Fig 2: lock passing time vs P (NUMA machine)", &series);
+    if !opts.csv {
+        out.push_str(&final_ratio_block(&series, "tas", "qsm"));
+    }
+    out
+}
+
+/// fig3 — interconnect transactions per critical section vs P (bus).
+pub fn fig3(opts: &Opts) -> String {
+    let series = lock_traffic(MachineKind::Bus, &opts.procs(), opts.iters());
+    let mut out = series_block(
+        opts,
+        "Fig 3: interconnect transactions per critical section vs P (bus)",
+        &series,
+    );
+    if !opts.csv {
+        out.push_str(&final_ratio_block(&series, "tas", "qsm"));
+    }
+    out
+}
+
+/// fig4 — throughput vs critical-section length at fixed P.
+pub fn fig4(opts: &Opts) -> String {
+    let holds: Vec<u64> = if opts.quick {
+        vec![0, 64, 256]
+    } else {
+        vec![0, 8, 16, 32, 64, 128, 256, 512]
+    };
+    let nprocs = if opts.quick { 4 } else { 16 };
+    let iters = if opts.quick { 4 } else { 10 };
+    let series = contention_sweep(MachineKind::Bus, nprocs, &holds, iters);
+    series_block(
+        opts,
+        &format!("Fig 4: throughput vs critical-section hold time (bus, P = {nprocs})"),
+        &series,
+    )
+}
+
+/// fig5 — barrier episode time vs P on the bus machine.
+pub fn fig5(opts: &Opts) -> String {
+    let series = barrier_scaling(MachineKind::Bus, &opts.procs(), opts.episodes());
+    let mut out = series_block(opts, "Fig 5: barrier episode time vs P (bus machine)", &series);
+    if !opts.csv {
+        out.push_str(&final_ratio_block(&series, "central", "qsm-tree"));
+    }
+    out
+}
+
+/// fig6 — barrier episode time vs P on the NUMA machine.
+pub fn fig6(opts: &Opts) -> String {
+    let series = barrier_scaling(MachineKind::Numa, &opts.procs(), opts.episodes());
+    let mut out = series_block(opts, "Fig 6: barrier episode time vs P (NUMA machine)", &series);
+    if !opts.csv {
+        out.push_str(&final_ratio_block(&series, "central", "qsm-tree"));
+    }
+    out
+}
+
+/// QSM with the fast path removed: every acquire enqueues via swap.
+/// Used only by the fig7 ablation.
+#[derive(Debug, Clone, Copy, Default)]
+struct QsmNoFastPath;
+
+impl LockKernel for QsmNoFastPath {
+    fn name(&self) -> &'static str {
+        "qsm-no-fastpath"
+    }
+    fn lines_needed(&self, nprocs: usize) -> usize {
+        QsmLock.lines_needed(nprocs)
+    }
+    fn proc_init(&self, pid: usize, region: &Region) -> u64 {
+        QsmLock.proc_init(pid, region)
+    }
+    fn acquire(&self, ctx: &mut dyn SyncCtx, region: &Region, ps: &mut u64) -> u64 {
+        let me = ctx.pid() as u64 + 1;
+        ctx.store(QsmLock::next(region, me), 0);
+        let prev = ctx.swap(QsmLock::tail(region), me);
+        if prev != 0 {
+            ctx.store(QsmLock::next(region, prev), me);
+            ctx.spin_while(QsmLock::grant(region, me), *ps);
+            *ps += 1;
+        }
+        0
+    }
+    fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, ps: &mut u64, token: u64) {
+        QsmLock.release(ctx, region, ps, token);
+    }
+}
+
+/// fig7 — backoff-parameter sensitivity plus the QSM fast-path ablation.
+pub fn fig7(opts: &Opts) -> String {
+    let nprocs = if opts.quick { 4 } else { 16 };
+    let iters = if opts.quick { 4 } else { 10 };
+
+    let series = backoff_ablation(MachineKind::Bus, nprocs, iters);
+    let mut out = series_block(
+        opts,
+        &format!("Fig 7a/7b: backoff parameter sensitivity (bus, P = {nprocs})"),
+        &series,
+    );
+
+    // Panel 3: fast-path ablation, contended and uncontended.
+    let mut fp = Series::new("P", "cycles per critical section");
+    for &p in &[1usize, nprocs] {
+        let machine = MachineKind::Bus.machine(p);
+        let cfg = CsConfig {
+            think: 0,
+            jitter: false,
+            hold: 20,
+            ..CsConfig::new(p, iters)
+        };
+        let stock = csbench::run(&machine, &QsmLock, &cfg).expect("qsm");
+        let ablated = csbench::run(&machine, &QsmNoFastPath, &cfg).expect("qsm-no-fastpath");
+        fp.push("qsm", p as u64, stock.passing_time);
+        fp.push("qsm-no-fastpath", p as u64, ablated.passing_time);
+    }
+    out.push('\n');
+    out.push_str(&series_block(opts, "Fig 7c: QSM fast-path ablation", &fp));
+    out
+}
+
+/// fig8 — real-hardware microbenchmark of the `qsm` crate (wall-clock;
+/// the one nondeterministic figure).
+pub fn fig8(opts: &Opts) -> String {
+    let threads = if opts.quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4]
+    };
+    let iters = if opts.quick { 20_000 } else { 200_000 };
+    let rows = workloads::realhw::sweep(&threads, iters);
+    let mut header = vec!["lock".to_string(), "uncontended ns/op".to_string()];
+    for t in &threads {
+        header.push(format!("CS/ms @{t}T"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs).with_title(format!(
+        "Fig 8: real hardware ({} host cores), {iters} iterations",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    for row in rows {
+        let mut cells = vec![row.name.to_string(), format!("{:.0}", row.uncontended_ns)];
+        for (_, thr) in &row.throughput {
+            cells.push(format!("{thr:.0}"));
+        }
+        table.row_owned(cells);
+    }
+    if opts.csv {
+        table.render_csv()
+    } else {
+        table.render()
+    }
+}
+
+/// table1 — uncontended latency (cycles) of every primitive.
+pub fn table1(opts: &Opts) -> String {
+    let mut table = Table::new(&["primitive", "bus cycles", "numa cycles"])
+        .with_title("Table 1: uncontended latency per operation (P = 1)");
+    let bus = uncontended_table(MachineKind::Bus);
+    let numa = uncontended_table(MachineKind::Numa);
+    for ((name, b), (name2, n)) in bus.into_iter().zip(numa) {
+        assert_eq!(name, name2);
+        table.row_owned(vec![name, fmt_cell(b), fmt_cell(n)]);
+    }
+    if opts.csv {
+        table.render_csv()
+    } else {
+        let mut out = table.render();
+        out.push('\n');
+        out.push_str(
+            "(lock rows: one acquire+release; barrier rows: one episode net of work.\n\
+             Log-round barriers cost 0 at P = 1 — they have no work to do.)\n",
+        );
+        out
+    }
+}
+
+/// table2 — fairness at P = 32: per-processor service distribution.
+pub fn table2(opts: &Opts) -> String {
+    use kernels::locks::all_locks;
+    use workloads::fairness::{run, FairnessConfig};
+    use workloads::sweeps::{parallel_cells, sweep_threads};
+
+    let nprocs = if opts.quick { 4 } else { 32 };
+    let cfg = FairnessConfig {
+        nprocs,
+        total_cs: nprocs * if opts.quick { 8 } else { 64 },
+        hold: 30,
+    };
+    let mut table = Table::new(&[
+        "lock",
+        "cv(counts)",
+        "jain",
+        "max denial (hand-offs)",
+        "min/max count",
+    ])
+    .with_title(format!(
+        "Table 2: fairness under continuous contention (bus, P = {nprocs}, {} CS)",
+        cfg.total_cs
+    ));
+    let locks = all_locks();
+    let results = parallel_cells(locks.len(), sweep_threads(), |i| {
+        let machine = MachineKind::Bus.machine(nprocs);
+        run(&machine, locks[i].as_ref(), &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", locks[i].name()))
+    });
+    for (lock, r) in locks.iter().zip(&results) {
+        let min = r.counts.iter().min().copied().unwrap_or(0);
+        let max = r.counts.iter().max().copied().unwrap_or(0);
+        table.row_owned(vec![
+            lock.name().to_string(),
+            format!("{:.3}", r.cv),
+            format!("{:.3}", r.jain),
+            r.max_denial.to_string(),
+            format!("{}/{}", fmt_cell(min as f64), fmt_cell(max as f64)),
+        ]);
+    }
+    if opts.csv {
+        table.render_csv()
+    } else {
+        table.render()
+    }
+}
+
+/// table3 (extension experiment) — reader/writer mix sweep.
+pub fn table3(opts: &Opts) -> String {
+    use workloads::sweeps::{parallel_cells, sweep_threads};
+
+    let nprocs = if opts.quick { 4 } else { 16 };
+    let iters = if opts.quick { 8 } else { 16 };
+    let fractions: &[f64] = if opts.quick {
+        &[0.0, 0.9]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 0.9, 0.99]
+    };
+    let mut table = Table::new(&[
+        "read fraction",
+        "rwlock ops/kcyc",
+        "mutex ops/kcyc",
+        "speedup",
+    ])
+    .with_title(format!(
+        "Table 3 (extension): reader/writer mix, bus machine, P = {nprocs}"
+    ));
+    let results = parallel_cells(fractions.len(), sweep_threads(), |i| {
+        let cfg = RwConfig {
+            nprocs,
+            iters,
+            read_fraction: fractions[i],
+            read_hold: 400,
+            write_hold: 60,
+            seed: 0x7777,
+        };
+        let machine = MachineKind::Bus.machine(nprocs);
+        let rw = run_rwlock(&machine, &cfg).expect("rwlock trial");
+        let mx = run_mutex(&machine, &cfg).expect("mutex trial");
+        (rw, mx)
+    });
+    for (&f, (rw, mx)) in fractions.iter().zip(&results) {
+        table.row_owned(vec![
+            format!("{:.0}%", f * 100.0),
+            format!("{:.2}", rw.throughput),
+            format!("{:.2}", mx.throughput),
+            format!("{:.2}x", rw.throughput / mx.throughput),
+        ]);
+    }
+    if opts.csv {
+        table.render_csv()
+    } else {
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolve() {
+        for f in FIGURES {
+            assert!(std::ptr::eq(by_id(f.id).unwrap(), f));
+        }
+        assert!(by_id("fig99").is_none());
+    }
+
+    #[test]
+    fn deterministic_figures_render_identically_twice() {
+        let opts = Opts {
+            csv: false,
+            quick: true,
+        };
+        // table1 exercises the P=1 inline engine path end to end; fig4
+        // exercises jittered critical sections. Both must be pure
+        // functions of Opts.
+        for id in ["table1", "fig4"] {
+            let f = by_id(id).unwrap();
+            assert_eq!((f.render)(&opts), (f.render)(&opts), "{id} not deterministic");
+        }
+    }
+}

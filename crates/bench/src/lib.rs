@@ -1,15 +1,26 @@
 //! Shared plumbing for the figure/table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! reconstructed evaluation (see DESIGN.md's per-experiment index) and
-//! honours two knobs:
+//! reconstructed evaluation (see DESIGN.md's per-experiment index). The
+//! figures themselves live in [`figures`] as string-returning render
+//! functions over a common registry — the binaries are one-line wrappers,
+//! and the `bench_sim` binary runs the whole registry in one process to
+//! measure regeneration wall-clock. All binaries honour:
 //!
 //! * `--csv` — emit CSV instead of the aligned text table;
-//! * `SYNCMECH_QUICK=1` — run a reduced sweep (fewer processors and
-//!   iterations) so integration tests can smoke-run every binary quickly.
+//! * `--quick` (or `SYNCMECH_QUICK=1`) — run a reduced sweep (fewer
+//!   processors and iterations) so integration tests can smoke-run every
+//!   figure quickly.
+//!
+//! Unrecognized arguments are an error: the binary prints usage and exits
+//! nonzero rather than silently measuring something other than what the
+//! misspelled flag asked for.
 
 use simcore::stats::LinearFit;
 use simcore::Series;
+use std::fmt::Write as _;
+
+pub mod figures;
 
 /// Runtime options shared by all figure binaries.
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,13 +31,62 @@ pub struct Opts {
     pub quick: bool,
 }
 
+/// Outcome of parsing that is not an `Opts`: the caller decides how to
+/// exit (binaries print usage; tests assert on the variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--help` / `-h` was given.
+    Help,
+    /// An argument no figure binary understands.
+    Unknown(String),
+}
+
 impl Opts {
-    /// Parses `--csv` from the argument list and `SYNCMECH_QUICK` from the
-    /// environment.
+    /// The usage text shared by every figure binary.
+    pub const USAGE: &'static str = "\
+usage: <figure binary> [--csv] [--quick] [--help]
+
+  --csv     emit CSV instead of the aligned text table
+  --quick   reduced sweep (same as SYNCMECH_QUICK=1); used by smoke tests
+  --help    show this help
+
+environment:
+  SYNCMECH_QUICK=1          same as --quick
+  SYNCMECH_SWEEP_THREADS=N  host threads for the sweep fan-out";
+
+    /// Parses command-line flags on top of `base` (the environment-derived
+    /// defaults). Stops at the first argument it does not recognize.
+    pub fn parse(args: impl Iterator<Item = String>, mut base: Opts) -> Result<Opts, ArgError> {
+        for arg in args {
+            match arg.as_str() {
+                "--csv" => base.csv = true,
+                "--quick" => base.quick = true,
+                "--help" | "-h" => return Err(ArgError::Help),
+                other => return Err(ArgError::Unknown(other.to_string())),
+            }
+        }
+        Ok(base)
+    }
+
+    /// Parses the process arguments and `SYNCMECH_QUICK`; on `--help`
+    /// prints usage and exits 0, on an unknown argument prints usage to
+    /// stderr and exits 2.
     pub fn from_env() -> Self {
-        Opts {
-            csv: std::env::args().any(|a| a == "--csv"),
+        let base = Opts {
+            csv: false,
             quick: std::env::var("SYNCMECH_QUICK").map(|v| v == "1").unwrap_or(false),
+        };
+        match Self::parse(std::env::args().skip(1), base) {
+            Ok(opts) => opts,
+            Err(ArgError::Help) => {
+                println!("{}", Self::USAGE);
+                std::process::exit(0);
+            }
+            Err(ArgError::Unknown(flag)) => {
+                eprintln!("error: unrecognized argument `{flag}`");
+                eprintln!("{}", Self::USAGE);
+                std::process::exit(2);
+            }
         }
     }
 
@@ -58,48 +118,88 @@ impl Opts {
     }
 }
 
-/// Prints a series in the selected format, followed by the per-curve
+/// Renders a series in the selected format, followed by the per-curve
 /// power-law scaling exponents (`y ~ P^e`) that EXPERIMENTS.md records.
-pub fn emit_series(opts: &Opts, title: &str, series: &Series) {
+pub fn series_block(opts: &Opts, title: &str, series: &Series) -> String {
     let table = series.to_table(title);
     if opts.csv {
-        print!("{}", table.render_csv());
-        return;
+        return table.render_csv();
     }
-    print!("{}", table.render());
-    println!();
-    println!("scaling exponents (log-log fit y ~ x^e):");
+    let mut out = table.render();
+    out.push('\n');
+    out.push_str("scaling exponents (log-log fit y ~ x^e):\n");
     for name in series.curve_names() {
         match series.scaling_exponent(name) {
             Some(LinearFit { slope, r2, .. }) => {
-                println!("  {name:<22} e = {slope:+.2}  (r² = {r2:.2})");
+                let _ = writeln!(out, "  {name:<22} e = {slope:+.2}  (r² = {r2:.2})");
             }
-            None => println!("  {name:<22} e = n/a"),
+            None => {
+                let _ = writeln!(out, "  {name:<22} e = n/a");
+            }
         }
+    }
+    out
+}
+
+/// Renders the headline "who wins by what factor" line for a figure
+/// (empty string when the curves don't share a final point).
+pub fn final_ratio_block(series: &Series, loser: &str, winner: &str) -> String {
+    match series.final_ratio(loser, winner) {
+        Some(ratio) => format!("\nat the largest shared P: {loser} / {winner} = {ratio:.1}x\n"),
+        None => String::new(),
     }
 }
 
-/// Prints the headline "who wins by what factor" line for a figure.
+/// Prints a series in the selected format; see [`series_block`].
+pub fn emit_series(opts: &Opts, title: &str, series: &Series) {
+    print!("{}", series_block(opts, title, series));
+}
+
+/// Prints the headline ratio line; see [`final_ratio_block`].
 pub fn emit_final_ratio(series: &Series, loser: &str, winner: &str) {
-    if let Some(ratio) = series.final_ratio(loser, winner) {
-        println!();
-        println!(
-            "at the largest shared P: {loser} / {winner} = {ratio:.1}x"
-        );
-    }
+    print!("{}", final_ratio_block(series, loser, winner));
 }
 
 /// Minimal wall-clock measurement for the `benches/` targets.
 ///
 /// The workspace builds offline, so instead of criterion the bench targets
 /// use this hand-rolled harness: warm up, run batches until a time budget
-/// is spent, report ns/iter from the fastest batch (the standard "best
-/// observed" estimator, robust to scheduler noise in one direction).
+/// is spent, and report both the fastest batch (the standard
+/// "best observed" estimator, robust to scheduler noise in one direction)
+/// and the median batch (robust in both).
 pub mod timing {
     use std::time::{Duration, Instant};
 
-    /// Measures `f`, returning the best observed nanoseconds per iteration.
-    pub fn bench_ns(mut f: impl FnMut()) -> f64 {
+    /// One benchmark's results, in nanoseconds per iteration.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Measurement {
+        /// Fastest batch observed.
+        pub best_ns: f64,
+        /// Median across batches.
+        pub median_ns: f64,
+        /// Iterations per batch (calibrated to ~1 ms per batch).
+        pub batch: u64,
+        /// Number of batches the time budget allowed.
+        pub samples: usize,
+    }
+
+    impl Measurement {
+        /// One-line machine-readable form, suitable for concatenating
+        /// into a JSON array or streaming as JSON lines.
+        pub fn json(&self, name: &str) -> String {
+            format!(
+                "{{\"name\":\"{}\",\"best_ns\":{:.1},\"median_ns\":{:.1},\"batch\":{},\"samples\":{}}}",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                self.best_ns,
+                self.median_ns,
+                self.batch,
+                self.samples
+            )
+        }
+    }
+
+    /// Measures `f` over a ~50 ms budget of ~1 ms batches.
+    pub fn bench_stats(mut f: impl FnMut()) -> Measurement {
         // Warm-up: pull code and data into cache, trigger lazy init.
         for _ in 0..10 {
             f();
@@ -118,22 +218,40 @@ pub mod timing {
         }
         let budget = Duration::from_millis(50);
         let start = Instant::now();
-        let mut best = f64::INFINITY;
-        while start.elapsed() < budget {
+        let mut per_iter = Vec::new();
+        while start.elapsed() < budget || per_iter.is_empty() {
             let t = Instant::now();
             for _ in 0..batch {
                 f();
             }
-            let per_iter = t.elapsed().as_nanos() as f64 / batch as f64;
-            best = best.min(per_iter);
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
         }
-        best
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        Measurement {
+            best_ns: per_iter[0],
+            median_ns: per_iter[per_iter.len() / 2],
+            batch,
+            samples: per_iter.len(),
+        }
     }
 
-    /// Runs and prints one named measurement in a `cargo bench`-like format.
+    /// Measures `f`, returning the best observed nanoseconds per iteration.
+    pub fn bench_ns(f: impl FnMut()) -> f64 {
+        bench_stats(f).best_ns
+    }
+
+    /// Runs and prints one named measurement in a `cargo bench`-like
+    /// format; set `SYNCMECH_BENCH_JSON=1` to emit a JSON line instead.
     pub fn report(name: &str, f: impl FnMut()) {
-        let ns = bench_ns(f);
-        println!("{name:<40} {ns:>12.1} ns/iter");
+        let m = bench_stats(f);
+        if std::env::var("SYNCMECH_BENCH_JSON").map(|v| v == "1").unwrap_or(false) {
+            println!("{}", m.json(name));
+        } else {
+            println!(
+                "{name:<40} {:>12.1} ns/iter (median {:.1})",
+                m.best_ns, m.median_ns
+            );
+        }
     }
 }
 
@@ -169,5 +287,45 @@ mod tests {
             &s,
         );
         emit_final_ratio(&s, "a", "b");
+    }
+
+    #[test]
+    fn parse_accepts_known_flags_in_any_order() {
+        let opts = Opts::parse(
+            ["--quick".to_string(), "--csv".to_string()].into_iter(),
+            Opts::default(),
+        )
+        .unwrap();
+        assert!(opts.csv && opts.quick);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        let err = Opts::parse(["--cvs".to_string()].into_iter(), Opts::default()).unwrap_err();
+        assert_eq!(err, ArgError::Unknown("--cvs".to_string()));
+        let err = Opts::parse(["--help".to_string()].into_iter(), Opts::default()).unwrap_err();
+        assert_eq!(err, ArgError::Help);
+    }
+
+    #[test]
+    fn parse_keeps_environment_base() {
+        let base = Opts {
+            csv: false,
+            quick: true,
+        };
+        let opts = Opts::parse(std::iter::empty(), base).unwrap();
+        assert!(opts.quick && !opts.csv);
+    }
+
+    #[test]
+    fn timing_measurement_is_sane() {
+        let m = timing::bench_stats(|| {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m.best_ns > 0.0);
+        assert!(m.median_ns >= m.best_ns);
+        assert!(m.samples >= 1);
+        let j = m.json("adds");
+        assert!(j.contains("\"name\":\"adds\"") && j.contains("median_ns"));
     }
 }

@@ -1,12 +1,32 @@
 //! The serialized discrete-event executor.
 //!
 //! Every simulated processor runs on an OS thread, but only as a convenience
-//! for writing straight-line kernel code: the engine (running on the caller's
-//! thread) admits exactly one memory operation at a time, chosen as the
-//! pending request with the smallest `(issue time, pid)`. Because a processor
-//! blocks on every operation and computes deterministically between them, the
-//! whole simulation is a pure function of (machine parameters, program) —
-//! host scheduling cannot influence results.
+//! for writing straight-line kernel code: the engine admits exactly one
+//! memory operation at a time, chosen as the pending request with the
+//! smallest `(issue time, pid)`. Because a processor blocks on every
+//! operation and computes deterministically between them, the whole
+//! simulation is a pure function of (machine parameters, program) — host
+//! scheduling cannot influence results.
+//!
+//! ## Handoff protocol (the host-performance core)
+//!
+//! There is **no engine thread**. The engine state ([`EngineCore`]) lives
+//! under a mutex in [`EngineShared`]; every processor thread submits its
+//! request under that lock, and whichever submission makes the count of
+//! still-running processors reach zero *drives* the engine inline: it
+//! executes globally-minimal pending requests until some processor is
+//! runnable again. Replies travel through per-processor SPSC slots
+//! ([`Slot`]) — an atomic state word plus an adaptive spin-then-park wait —
+//! so a handoff between two processors costs one unpark/park pair instead
+//! of the two mpsc rendezvous (four context switches) of the previous
+//! design, and a processor whose own request is executed inline (always the
+//! case at P = 1) pays **zero** context switches.
+//!
+//! Determinism is unaffected: which thread happens to drive is
+//! host-dependent, but the driver only ever executes the deterministically
+//! chosen minimal request against state fully owned by the mutex, so the
+//! sequence of simulated events — and every cycle count — is identical to
+//! the single-threaded engine loop it replaced.
 //!
 //! ## Timing model
 //!
@@ -30,8 +50,12 @@ use crate::interconnect::Interconnect;
 use crate::metrics::Metrics;
 use crate::params::MachineParams;
 use crate::{Addr, SimError, Word};
-use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, Sender};
+use std::cell::UnsafeCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::Thread;
 
 /// Predicate a sleeping processor is waiting on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +110,147 @@ pub(crate) struct Reply {
     pub abort: bool,
 }
 
+const SLOT_EMPTY: u32 = 0;
+const SLOT_READY: u32 = 1;
+
+/// Single-producer single-consumer reply slot.
+///
+/// The producer is whichever thread drives the engine (always under the
+/// [`EngineShared`] mutex, so producers are serialized); the consumer is the
+/// owning processor thread. `state` carries the publication: the producer
+/// writes the reply, stores `SLOT_READY` with release ordering, and unparks
+/// the consumer; the consumer observes `SLOT_READY` with acquire ordering,
+/// reads the reply, and resets the slot. The consumer's *next* submission
+/// happens-after the reset via the engine mutex, so a slot is never written
+/// while it may still be read.
+pub(crate) struct Slot {
+    state: AtomicU32,
+    reply: UnsafeCell<Reply>,
+    /// The consumer thread, registered before its first submission.
+    thread: OnceLock<Thread>,
+}
+
+// SAFETY: `reply` is only written by the mutex-serialized producer while
+// `state == SLOT_EMPTY` and the consumer is blocked in submission (see
+// type-level comment), and only read by the consumer after an acquire load
+// of `SLOT_READY`.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU32::new(SLOT_EMPTY),
+            reply: UnsafeCell::new(Reply {
+                value: 0,
+                now: 0,
+                abort: false,
+            }),
+            thread: OnceLock::new(),
+        }
+    }
+
+    /// Registers the calling thread as the slot's consumer.
+    pub(crate) fn register_consumer(&self) {
+        let _ = self.thread.set(std::thread::current());
+    }
+
+    /// Producer side: publish a reply; wake the consumer unless it is the
+    /// thread currently driving the engine (which polls its slot itself).
+    fn deliver(&self, reply: Reply, wake: bool) {
+        unsafe { *self.reply.get() = reply };
+        self.state.store(SLOT_READY, Ordering::Release);
+        if wake {
+            if let Some(t) = self.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Whether a published reply is waiting to be consumed. Producer-side
+    /// use only (under the engine mutex), to avoid clobbering an
+    /// undelivered abort.
+    fn has_reply(&self) -> bool {
+        self.state.load(Ordering::Acquire) == SLOT_READY
+    }
+
+    /// Consumer side: take the reply if one has been published.
+    pub(crate) fn try_take(&self) -> Option<Reply> {
+        if self.state.load(Ordering::Acquire) == SLOT_READY {
+            let reply = unsafe { *self.reply.get() };
+            self.state.store(SLOT_EMPTY, Ordering::Relaxed);
+            Some(reply)
+        } else {
+            None
+        }
+    }
+}
+
+/// Waiter list with inline storage for the common case (a handful of
+/// processors parked on one word; e.g. every queue lock parks at most one).
+/// Order is preserved — wake order is part of the deterministic timing.
+#[derive(Debug, Default)]
+pub(crate) struct PidList {
+    inline: [u32; PidList::INLINE],
+    len: u8,
+    spill: Vec<u32>,
+}
+
+impl PidList {
+    const INLINE: usize = 4;
+
+    pub(crate) fn push(&mut self, pid: usize) {
+        if (self.len as usize) < Self::INLINE {
+            self.inline[self.len as usize] = pid as u32;
+            self.len += 1;
+        } else {
+            self.spill.push(pid as u32);
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All pids in insertion order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.inline[..self.len as usize]
+            .iter()
+            .chain(self.spill.iter())
+            .map(|&p| p as usize)
+    }
+}
+
+/// Watchpoint table keyed directly by word address — the watched span is
+/// the simulated shared memory, which is small and dense, so a flat table
+/// with inline waiter vectors replaces the previous `HashMap<Addr, Vec>`
+/// (no hashing, no per-entry allocation on the hot wake path).
+#[derive(Debug)]
+struct WatchTable {
+    lists: Vec<PidList>,
+}
+
+impl WatchTable {
+    fn new(words: usize) -> Self {
+        WatchTable {
+            lists: (0..words).map(|_| PidList::default()).collect(),
+        }
+    }
+
+    fn push(&mut self, addr: Addr, pid: usize) {
+        self.lists[addr].push(pid);
+    }
+
+    /// Removes and returns the whole waiter list for `addr`.
+    fn take(&mut self, addr: Addr) -> PidList {
+        std::mem::take(&mut self.lists[addr])
+    }
+
+    fn restore(&mut self, addr: Addr, list: PidList) {
+        debug_assert!(self.lists[addr].is_empty());
+        self.lists[addr] = list;
+    }
+}
+
 /// Access classes with distinct coherence behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AccessKind {
@@ -112,8 +277,9 @@ enum ProcState {
     Done,
 }
 
-/// The discrete-event executor. Constructed per run by [`crate::Machine`].
-pub(crate) struct Engine {
+/// The engine state proper: coherence machinery, request bookkeeping, and
+/// the outcome of the run. Only ever touched under [`EngineShared`]'s mutex.
+pub(crate) struct EngineCore {
     params: MachineParams,
     memory: Vec<Word>,
     caches: Vec<Cache>,
@@ -121,87 +287,55 @@ pub(crate) struct Engine {
     net: Interconnect,
     pub(crate) metrics: Metrics,
     states: Vec<ProcState>,
-    /// addr → pids parked on it (details live in `states`).
-    watchers: HashMap<Addr, Vec<usize>>,
+    /// Word address → pids parked on it (details live in `states`).
+    watchers: WatchTable,
+    /// Pending requests as `(issue, pid)`, min first. Exact — a processor
+    /// is pushed when it submits and popped exactly once when executed.
+    pending: BinaryHeap<Reverse<(u64, usize)>>,
     /// Number of processors currently owing a request.
     outstanding: usize,
-    req_rx: Receiver<Request>,
-    reply_tx: Vec<Sender<Reply>>,
+    /// Set once the run is torn down (error or peer panic); any submission
+    /// arriving afterwards receives an immediate abort reply.
+    aborted: bool,
+    /// Why the run ended early, if it did.
+    pub(crate) error: Option<SimError>,
     /// Set when a processor thread reported a panic; the machine re-raises.
     pub(crate) user_panicked: bool,
 }
 
-impl Engine {
-    pub(crate) fn new(
-        params: MachineParams,
-        init_memory: Vec<Word>,
-        nprocs: usize,
-        req_rx: Receiver<Request>,
-        reply_tx: Vec<Sender<Reply>>,
-    ) -> Self {
+impl EngineCore {
+    fn new(params: MachineParams, init_memory: Vec<Word>, nprocs: usize) -> Self {
         params.validate();
         assert!((1..=128).contains(&nprocs), "1..=128 processors supported");
         let net = Interconnect::new(&params);
-        Engine {
+        EngineCore {
             caches: (0..nprocs).map(|_| Cache::new(params.cache_lines)).collect(),
             dir: Directory::new(),
             net,
             metrics: Metrics::new(nprocs),
             states: (0..nprocs).map(|_| ProcState::Running).collect(),
-            watchers: HashMap::new(),
+            watchers: WatchTable::new(init_memory.len()),
+            pending: BinaryHeap::with_capacity(nprocs),
             outstanding: nprocs,
-            req_rx,
-            reply_tx,
+            aborted: false,
+            error: None,
             memory: init_memory,
             user_panicked: false,
             params,
         }
     }
 
-    /// Final memory image, consumed after the run.
+    /// Final metrics and memory image, consumed after the run.
     pub(crate) fn into_memory(self) -> (Metrics, Vec<Word>) {
         (self.metrics, self.memory)
     }
 
-    /// Runs the simulation to completion.
-    pub(crate) fn run_loop(&mut self) -> Result<(), SimError> {
-        loop {
-            // Conservative PDES: nobody executes until every running
-            // processor has told us what it does next.
-            while self.outstanding > 0 {
-                let req = self
-                    .req_rx
-                    .recv()
-                    .expect("processor thread vanished without Done");
-                self.outstanding -= 1;
-                match req.op {
-                    Op::Done => {
-                        self.metrics.per_proc[req.pid].finish_time = req.issue;
-                        self.metrics.total_cycles = self.metrics.total_cycles.max(req.issue);
-                        self.states[req.pid] = ProcState::Done;
-                    }
-                    Op::Panicked => {
-                        self.user_panicked = true;
-                        self.abort_all();
-                        // Not a SimError: the machine re-raises the payload.
-                        return Ok(());
-                    }
-                    _ => self.states[req.pid] = ProcState::Pending(req),
-                }
-            }
-
-            // Pick the pending request with the smallest (issue, pid).
-            let next = self
-                .states
-                .iter()
-                .enumerate()
-                .filter_map(|(pid, s)| match s {
-                    ProcState::Pending(r) => Some((r.issue, pid)),
-                    _ => None,
-                })
-                .min();
-
-            let Some((_, pid)) = next else {
+    /// Executes minimal pending requests while no processor is runnable.
+    /// Called with the lock held by the thread whose submission made
+    /// `outstanding` reach zero (`driver` is its pid).
+    fn drive(&mut self, slots: &[Slot], driver: usize) {
+        while self.outstanding == 0 && !self.aborted {
+            let Some(Reverse((_, pid))) = self.pending.pop() else {
                 // No pending work. Either everyone is done, or the remainder
                 // are all parked on watchpoints: deadlock.
                 let waiting: Vec<(usize, Addr, Word)> = self
@@ -219,25 +353,26 @@ impl Engine {
                         _ => None,
                     })
                     .collect();
-                if waiting.is_empty() {
-                    return Ok(());
+                if !waiting.is_empty() {
+                    self.error = Some(SimError::Deadlock { waiting });
+                    self.abort_all(slots);
                 }
-                self.abort_all();
-                return Err(SimError::Deadlock { waiting });
+                return;
             };
-
-            let ProcState::Pending(req) = std::mem::replace(&mut self.states[pid], ProcState::Running)
+            let ProcState::Pending(req) =
+                std::mem::replace(&mut self.states[pid], ProcState::Running)
             else {
-                unreachable!("selected pid was Pending");
+                unreachable!("heap entry for p{pid} was not Pending");
             };
-            if let Err(e) = self.execute(req) {
-                self.abort_all();
-                return Err(e);
+            if let Err(e) = self.execute(req, slots, driver) {
+                self.error = Some(e);
+                self.abort_all(slots);
+                return;
             }
         }
     }
 
-    fn execute(&mut self, req: Request) -> Result<(), SimError> {
+    fn execute(&mut self, req: Request, slots: &[Slot], driver: usize) -> Result<(), SimError> {
         let pid = req.pid;
         // Validate addresses up front so a stray kernel bug surfaces as a
         // structured fault instead of an engine panic.
@@ -264,14 +399,14 @@ impl Engine {
             Op::Store(addr, val) => {
                 self.metrics.per_proc[pid].stores += 1;
                 let t = self.access(pid, addr, AccessKind::Write, req.issue);
-                let t = self.commit_write(pid, addr, val, t);
+                let t = self.commit_write(pid, addr, val, t, slots, driver);
                 (0, t)
             }
             Op::Swap(addr, val) => {
                 self.metrics.per_proc[pid].rmws += 1;
                 let t = self.access(pid, addr, AccessKind::Rmw, req.issue);
                 let old = self.memory[addr];
-                let t = self.commit_write(pid, addr, val, t);
+                let t = self.commit_write(pid, addr, val, t, slots, driver);
                 (old, t)
             }
             Op::Cas(addr, expected, new) => {
@@ -281,7 +416,7 @@ impl Engine {
                 let t = self.access(pid, addr, AccessKind::Rmw, req.issue);
                 let old = self.memory[addr];
                 let t = if old == expected {
-                    self.commit_write(pid, addr, new, t)
+                    self.commit_write(pid, addr, new, t, slots, driver)
                 } else {
                     t
                 };
@@ -291,7 +426,7 @@ impl Engine {
                 self.metrics.per_proc[pid].rmws += 1;
                 let t = self.access(pid, addr, AccessKind::Rmw, req.issue);
                 let old = self.memory[addr];
-                let t = self.commit_write(pid, addr, old.wrapping_add(delta), t);
+                let t = self.commit_write(pid, addr, old.wrapping_add(delta), t, slots, driver);
                 (old, t)
             }
             Op::Spin(addr, pred) => {
@@ -308,7 +443,7 @@ impl Engine {
                         clock: t,
                         sleep_start: t,
                     };
-                    self.watchers.entry(addr).or_default().push(pid);
+                    self.watchers.push(addr, pid);
                     // No reply yet; the processor stays parked.
                     return self.check_time(t);
                 }
@@ -316,7 +451,7 @@ impl Engine {
             Op::Delay(cycles) => (0, req.issue.saturating_add(cycles)),
             Op::Done | Op::Panicked => unreachable!("handled at submission"),
         };
-        self.reply(pid, value, done);
+        self.reply(slots, driver, pid, value, done);
         self.check_time(done)
     }
 
@@ -330,24 +465,40 @@ impl Engine {
         }
     }
 
-    fn reply(&mut self, pid: usize, value: Word, now: u64) {
+    fn reply(&mut self, slots: &[Slot], driver: usize, pid: usize, value: Word, now: u64) {
         self.states[pid] = ProcState::Running;
         self.outstanding += 1;
-        let _ = self.reply_tx[pid].send(Reply {
-            value,
-            now,
-            abort: false,
-        });
+        slots[pid].deliver(
+            Reply {
+                value,
+                now,
+                abort: false,
+            },
+            pid != driver,
+        );
     }
 
-    fn abort_all(&mut self) {
-        for pid in 0..self.states.len() {
-            if !matches!(self.states[pid], ProcState::Done) {
-                let _ = self.reply_tx[pid].send(Reply {
-                    value: 0,
-                    now: 0,
-                    abort: true,
-                });
+    /// Tears the run down: every unfinished processor gets an abort reply.
+    /// Processors blocked on a reply (pending, parked on a watchpoint, or
+    /// the one whose request just faulted) consume it immediately; ones
+    /// still running user code find it at their next submission (which,
+    /// seeing `aborted`, delivers nothing further).
+    fn abort_all(&mut self, slots: &[Slot]) {
+        self.aborted = true;
+        for (state, slot) in self.states.iter().zip(slots) {
+            // A slot holding an unconsumed *normal* reply is left alone:
+            // its owner may be reading it right now, and will pick the
+            // abort up at its next submission (exactly the order the old
+            // channel transport delivered them in).
+            if !matches!(state, ProcState::Done) && !slot.has_reply() {
+                slot.deliver(
+                    Reply {
+                        value: 0,
+                        now: 0,
+                        abort: true,
+                    },
+                    true,
+                );
             }
         }
     }
@@ -433,24 +584,33 @@ impl Engine {
 
     /// Writes the value, then wakes watchers whose predicate now holds.
     /// Returns the (unchanged) completion time of the triggering write.
-    fn commit_write(&mut self, _pid: usize, addr: Addr, val: Word, done_at: u64) -> u64 {
+    fn commit_write(
+        &mut self,
+        _pid: usize,
+        addr: Addr,
+        val: Word,
+        done_at: u64,
+        slots: &[Slot],
+        driver: usize,
+    ) -> u64 {
         let changed = self.memory[addr] != val;
         self.memory[addr] = val;
         if changed {
-            self.wake_watchers(addr, done_at);
+            self.wake_watchers(addr, done_at, slots, driver);
         }
         done_at
     }
 
-    /// Re-probes every processor parked on `addr`, in pid order. Watchers
+    /// Re-probes every processor parked on `addr`, in park order. Watchers
     /// whose predicate holds are released; the rest pay the probe and park
     /// again (their line was invalidated by the triggering write).
-    fn wake_watchers(&mut self, addr: Addr, write_done: u64) {
-        let Some(pids) = self.watchers.remove(&addr) else {
+    fn wake_watchers(&mut self, addr: Addr, write_done: u64, slots: &[Slot], driver: usize) {
+        let pids = self.watchers.take(addr);
+        if pids.is_empty() {
             return;
-        };
-        let mut still_waiting = Vec::new();
-        for pid in pids {
+        }
+        let mut still_waiting = PidList::default();
+        for pid in pids.iter() {
             let ProcState::Waiting {
                 pred,
                 clock,
@@ -467,9 +627,8 @@ impl Engine {
             let cur = self.memory[addr];
             if pred.satisfied(cur) {
                 self.metrics.per_proc[pid].wakeups += 1;
-                self.metrics.per_proc[pid].spin_wait_cycles +=
-                    t.saturating_sub(sleep_start);
-                self.reply(pid, cur, t);
+                self.metrics.per_proc[pid].spin_wait_cycles += t.saturating_sub(sleep_start);
+                self.reply(slots, driver, pid, cur, t);
             } else {
                 self.states[pid] = ProcState::Waiting {
                     addr,
@@ -481,8 +640,78 @@ impl Engine {
             }
         }
         if !still_waiting.is_empty() {
-            self.watchers.entry(addr).or_default().extend(still_waiting);
+            self.watchers.restore(addr, still_waiting);
         }
+    }
+}
+
+/// The engine as shared between processor threads: the mutex-guarded core
+/// plus the per-processor reply slots. Constructed per run by
+/// [`crate::Machine`].
+pub(crate) struct EngineShared {
+    core: Mutex<EngineCore>,
+    slots: Vec<Slot>,
+}
+
+impl EngineShared {
+    pub(crate) fn new(params: MachineParams, init_memory: Vec<Word>, nprocs: usize) -> Self {
+        EngineShared {
+            core: Mutex::new(EngineCore::new(params, init_memory, nprocs)),
+            slots: (0..nprocs).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    pub(crate) fn slot(&self, pid: usize) -> &Slot {
+        &self.slots[pid]
+    }
+
+    /// Submits a request and drives the engine if this submission was the
+    /// last one outstanding. The reply (if the operation produces one)
+    /// arrives through the submitter's slot — possibly before this returns.
+    pub(crate) fn submit(&self, req: Request) {
+        let mut core = self.core.lock().expect("engine mutex poisoned");
+        if core.aborted {
+            // The submitter either already has an undelivered abort in its
+            // slot (from `abort_all`) or gets one now; either way it is not
+            // woken — it polls its slot right after this returns.
+            if !matches!(req.op, Op::Done | Op::Panicked) && !self.slots[req.pid].has_reply() {
+                self.slots[req.pid].deliver(
+                    Reply {
+                        value: 0,
+                        now: 0,
+                        abort: true,
+                    },
+                    false,
+                );
+            }
+            return;
+        }
+        core.outstanding -= 1;
+        match req.op {
+            Op::Done => {
+                core.metrics.per_proc[req.pid].finish_time = req.issue;
+                core.metrics.total_cycles = core.metrics.total_cycles.max(req.issue);
+                core.states[req.pid] = ProcState::Done;
+            }
+            Op::Panicked => {
+                core.user_panicked = true;
+                core.abort_all(&self.slots);
+                // Not a SimError: the machine re-raises the payload.
+                return;
+            }
+            _ => {
+                core.states[req.pid] = ProcState::Pending(req);
+                core.pending.push(Reverse((req.issue, req.pid)));
+            }
+        }
+        if core.outstanding == 0 {
+            core.drive(&self.slots, req.pid);
+        }
+    }
+
+    /// Consumes the shared engine after every processor has finished.
+    pub(crate) fn into_core(self) -> EngineCore {
+        self.core.into_inner().expect("engine mutex poisoned")
     }
 }
 
@@ -496,5 +725,35 @@ mod tests {
         assert!(WaitPred::WhileEq(3).satisfied(4));
         assert!(WaitPred::UntilEq(3).satisfied(3));
         assert!(!WaitPred::UntilEq(3).satisfied(4));
+    }
+
+    #[test]
+    fn pid_list_preserves_order_across_spill() {
+        let mut list = PidList::default();
+        for pid in 0..10 {
+            list.push(pid);
+        }
+        let collected: Vec<usize> = list.iter().collect();
+        assert_eq!(collected, (0..10).collect::<Vec<_>>());
+        assert!(!list.is_empty());
+        assert!(PidList::default().is_empty());
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let slot = Slot::new();
+        slot.register_consumer();
+        assert!(slot.try_take().is_none());
+        slot.deliver(
+            Reply {
+                value: 7,
+                now: 42,
+                abort: false,
+            },
+            true,
+        );
+        let r = slot.try_take().expect("reply published");
+        assert_eq!((r.value, r.now, r.abort), (7, 42, false));
+        assert!(slot.try_take().is_none(), "take consumes the reply");
     }
 }

@@ -21,10 +21,12 @@
 //! A *processor program* is an ordinary Rust closure receiving a [`Proc`]
 //! handle with `load` / `store` / `swap` / `cas` / `fetch_add` /
 //! `test_and_set` / `spin_while` / `delay` operations on a word-addressed
-//! shared memory. Each simulated processor runs on its own OS thread, but the
-//! engine fully serializes execution — at most one processor advances between
-//! memory events, ties broken by `(issue time, pid)` — so every run is
-//! **bit-for-bit deterministic** regardless of host scheduling.
+//! shared memory. Each simulated processor runs on its own OS thread
+//! (processor 0 on the caller's thread, the rest leased from a persistent
+//! [`pool`]), but the engine fully serializes execution — at most one
+//! processor advances between memory events, ties broken by
+//! `(issue time, pid)` — so every run is **bit-for-bit deterministic**
+//! regardless of host scheduling.
 //!
 //! ```
 //! use memsim::{Machine, MachineParams};
@@ -58,11 +60,13 @@ pub mod interconnect;
 pub mod machine;
 pub mod metrics;
 pub mod params;
+pub mod pool;
 pub mod proc;
 
 pub use machine::{Machine, RunReport};
 pub use metrics::{Metrics, ProcMetrics};
 pub use params::{MachineParams, Topology};
+pub use pool::{pool_stats, PoolStats};
 pub use proc::Proc;
 
 /// A machine word. The simulated memory is an array of these.

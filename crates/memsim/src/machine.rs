@@ -1,12 +1,19 @@
 //! The machine: thread orchestration around the engine.
+//!
+//! [`Machine::run`] no longer spawns threads: processor `0` executes on the
+//! calling thread (a P = 1 simulation involves no second thread at all),
+//! and processors `1..P` run as jobs on the persistent worker pool
+//! ([`crate::pool`]), so a sweep reuses one set of parked workers across
+//! every point instead of paying `P` spawns and joins per run.
 
-use crate::engine::{Engine, Reply, Request};
+use crate::engine::EngineShared;
 use crate::metrics::Metrics;
 use crate::params::MachineParams;
+use crate::pool::Pool;
 use crate::proc::{Proc, SimAbort};
 use crate::{SimError, Word};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Result of a completed simulation.
 #[derive(Debug, Clone)]
@@ -17,11 +24,45 @@ pub struct RunReport {
     pub memory: Vec<Word>,
 }
 
+/// Counts outstanding worker jobs; the run completes when it hits zero.
+///
+/// `count_down` notifies while still holding the lock and touches nothing
+/// afterwards, so the waiter cannot observe zero — and free the latch —
+/// before the last worker is done with it.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch mutex poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch mutex poisoned");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch mutex poisoned");
+        }
+    }
+}
+
 /// A configured simulated multiprocessor.
 ///
 /// `Machine` is cheap to construct and immutable; every [`Machine::run`]
 /// creates fresh caches, directory, interconnect and memory, so runs never
-/// contaminate each other.
+/// contaminate each other (only the OS threads are recycled).
 #[derive(Debug, Clone)]
 pub struct Machine {
     params: MachineParams,
@@ -42,8 +83,8 @@ impl Machine {
     /// of `shared_words` words.
     ///
     /// `body` receives the processor handle; it is invoked concurrently from
-    /// `nprocs` OS threads but the engine serializes all memory operations
-    /// deterministically.
+    /// `nprocs` threads (processor 0 on the caller's own thread) but the
+    /// engine serializes all memory operations deterministically.
     ///
     /// # Errors
     ///
@@ -72,62 +113,90 @@ impl Machine {
     where
         F: Fn(&mut Proc) + Send + Sync,
     {
+        self.run_on_pool(Pool::global(), nprocs, init_memory, body)
+    }
+
+    /// The full run path, parameterized over the worker pool (tests use a
+    /// private pool to make reuse assertions deterministic).
+    pub(crate) fn run_on_pool<F>(
+        &self,
+        pool: &Pool,
+        nprocs: usize,
+        init_memory: Vec<Word>,
+        body: F,
+    ) -> Result<RunReport, SimError>
+    where
+        F: Fn(&mut Proc) + Send + Sync,
+    {
         // The abort path unwinds processor threads with a sentinel payload;
         // filter it out of panic reporting once, process-wide.
         install_simabort_hook();
 
-        let (req_tx, req_rx) = mpsc::channel::<Request>();
-        let mut reply_txs = Vec::with_capacity(nprocs);
-        let mut reply_rxs = Vec::with_capacity(nprocs);
-        for _ in 0..nprocs {
-            let (tx, rx) = mpsc::channel::<Reply>();
-            reply_txs.push(tx);
-            reply_rxs.push(rx);
-        }
-        let mut engine = Engine::new(self.params.clone(), init_memory, nprocs, req_rx, reply_txs);
-        let body = &body;
+        // Validates params and processor count before any worker is leased.
+        let engine = Arc::new(EngineShared::new(
+            self.params.clone(),
+            init_memory,
+            nprocs,
+        ));
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
-        let (result, panics) = std::thread::scope(|scope| {
-            let handles: Vec<_> = reply_rxs
-                .drain(..)
-                .enumerate()
-                .map(|(pid, reply_rx)| {
-                    let req_tx = req_tx.clone();
-                    scope.spawn(move || {
-                        let mut proc = Proc::new(pid, nprocs, req_tx, reply_rx);
-                        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut proc)));
-                        match outcome {
-                            Ok(()) => proc.send_done(),
-                            Err(payload) => {
-                                if payload.downcast_ref::<SimAbort>().is_none() {
-                                    // A genuine user panic: tell the engine so
-                                    // it can release the other processors,
-                                    // then hand the payload to the joiner.
-                                    proc.send_panicked();
-                                    resume_unwind(payload);
-                                }
-                                // SimAbort: unwound deliberately; exit quietly.
-                            }
+        // One processor's whole life: run the body, then tell the engine how
+        // it ended. Never unwinds — the pool and the latch depend on that.
+        let proc_main = |pid: usize| {
+            let mut proc = Proc::new(pid, nprocs, self.params.max_cycles, Arc::clone(&engine));
+            match catch_unwind(AssertUnwindSafe(|| body(&mut proc))) {
+                Ok(()) => proc.send_done(),
+                Err(payload) => {
+                    if payload.downcast_ref::<SimAbort>().is_none() {
+                        // A genuine user panic: tell the engine so it can
+                        // release the other processors, and keep the payload
+                        // for the machine to re-raise.
+                        proc.send_panicked();
+                        let mut slot = first_panic.lock().expect("panic slot poisoned");
+                        if slot.is_none() {
+                            *slot = Some(payload);
                         }
-                    })
-                })
-                .collect();
-            // The original sender must drop so a dead engine is detectable.
-            drop(req_tx);
+                    }
+                    // SimAbort: unwound deliberately; exit quietly.
+                }
+            }
+        };
 
-            let result = engine.run_loop();
-            let panics: Vec<_> = handles
-                .into_iter()
-                .filter_map(|h| h.join().err())
-                .collect();
-            (result, panics)
-        });
+        {
+            let workers_done = Latch::new(nprocs - 1);
+            let lease = pool.lease(nprocs - 1);
+            for pid in 1..nprocs {
+                let proc_main = &proc_main;
+                let workers_done = &workers_done;
+                // SAFETY: `workers_done.wait()` below does not return until
+                // every job has executed `count_down` as its final action,
+                // so all borrows (body, engine, first_panic, the latch) stay
+                // alive for the jobs' whole lifetime, and the lease is only
+                // dropped after the workers are idle again.
+                unsafe {
+                    lease.dispatch(
+                        pid - 1,
+                        Box::new(move || {
+                            proc_main(pid);
+                            workers_done.count_down();
+                        }),
+                    );
+                }
+            }
+            proc_main(0);
+            workers_done.wait();
+        }
 
-        if let Some(payload) = panics.into_iter().next() {
+        if let Some(payload) = first_panic.into_inner().expect("panic slot poisoned") {
             resume_unwind(payload);
         }
-        result?;
-        let (metrics, memory) = engine.into_memory();
+        let core = Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| unreachable!("all processors have dropped their engine handles"))
+            .into_core();
+        if let Some(err) = core.error.clone() {
+            return Err(err);
+        }
+        let (metrics, memory) = core.into_memory();
         Ok(RunReport { metrics, memory })
     }
 }
@@ -303,6 +372,23 @@ mod tests {
     }
 
     #[test]
+    fn panic_on_the_caller_thread_propagates() {
+        // pid 0 runs on the calling thread now; its panics must still be
+        // caught, the peers released, and the payload re-raised.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = bus(2).run(2, 1, |p| {
+                if p.pid() == 0 {
+                    panic!("pid0 bug");
+                }
+                p.spin_until(0, 1);
+            });
+        }));
+        let payload = outcome.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "pid0 bug");
+    }
+
+    #[test]
     fn determinism_same_seedless_program() {
         let run = || {
             bus(4)
@@ -400,5 +486,29 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err, SimError::Fault { pid: 0, addr: 5 });
+    }
+
+    #[test]
+    fn private_pool_reuses_workers_across_runs() {
+        let pool = Pool::new();
+        let machine = bus(4);
+        let go = |pool: &Pool| {
+            machine
+                .run_on_pool(pool, 4, vec![0], |p| {
+                    for _ in 0..10 {
+                        p.fetch_add(0, 1);
+                    }
+                })
+                .unwrap()
+        };
+        let first = go(&pool);
+        // pid 0 rides the caller thread: only nprocs - 1 workers leased.
+        assert_eq!(pool.stats().spawned, 3);
+        for i in 1..=5 {
+            let again = go(&pool);
+            assert_eq!(again.metrics, first.metrics, "pooled run {i} diverged");
+            assert_eq!(pool.stats().spawned, 3, "run {i} spawned fresh threads");
+        }
+        assert_eq!(pool.stats().reused, 15);
     }
 }

@@ -6,57 +6,106 @@
 //! spinning, and a local `delay`. Every method blocks the calling OS thread
 //! until the engine has scheduled the operation, so kernel code reads like
 //! ordinary sequential Rust.
+//!
+//! Blocking is an adaptive spin-then-park on the processor's reply slot:
+//! when the engine replies promptly (it often replies *inline*, before
+//! [`Proc::roundtrip`] even begins waiting) no scheduler interaction
+//! happens at all; otherwise the processor spins briefly — with a budget
+//! that grows when spinning succeeds and shrinks when it parks — and then
+//! parks until the driving thread unparks it. On a single-core host the
+//! spin budget is pinned to zero: spinning (or even yielding) there
+//! measures slower than parking immediately and letting the producing
+//! thread run.
 
-use crate::engine::{Op, Reply, Request, WaitPred};
+use crate::engine::{EngineShared, Op, Reply, Request, WaitPred};
 use crate::{Addr, Word};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 /// Sentinel panic payload used to unwind processor threads when the engine
 /// aborts a simulation (deadlock, time limit, or a peer's panic). The machine
 /// layer swallows it; user panics propagate normally.
 pub(crate) struct SimAbort;
 
+/// Upper bound on the adaptive spin budget, in spin-loop iterations.
+const MAX_SPIN: u32 = 128;
+
+/// Spin budget cap for this host: zero on a single core, where every spin
+/// iteration steals time from the thread we are waiting on (yield loops
+/// were also tried there and measure slower than parking immediately).
+fn host_spin_cap() -> u32 {
+    use std::sync::OnceLock;
+    static CAP: OnceLock<u32> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => MAX_SPIN,
+            _ => 0,
+        }
+    })
+}
+
 /// Handle through which a simulated processor issues operations.
 pub struct Proc {
     pid: usize,
     nprocs: usize,
     now: u64,
-    req_tx: Sender<Request>,
-    reply_rx: Receiver<Reply>,
+    /// The machine's simulated-time limit, mirrored here so locally
+    /// executed delays still trigger [`crate::SimError::TimeLimit`].
+    max_cycles: u64,
+    engine: Arc<EngineShared>,
+    /// Current spin budget before parking (adaptive, `0..=MAX_SPIN`).
+    spin_budget: u32,
 }
 
 impl Proc {
-    pub(crate) fn new(
-        pid: usize,
-        nprocs: usize,
-        req_tx: Sender<Request>,
-        reply_rx: Receiver<Reply>,
-    ) -> Self {
+    /// Creates the handle on the thread that will run the processor's body
+    /// (the slot's consumer registration captures the current thread).
+    pub(crate) fn new(pid: usize, nprocs: usize, max_cycles: u64, engine: Arc<EngineShared>) -> Self {
+        engine.slot(pid).register_consumer();
         Proc {
             pid,
             nprocs,
             now: 0,
-            req_tx,
-            reply_rx,
+            max_cycles,
+            engine,
+            spin_budget: host_spin_cap(),
+        }
+    }
+
+    fn wait_reply(&mut self) -> Reply {
+        let slot = self.engine.slot(self.pid);
+        // Inline path: the engine replied while we still held its lock
+        // (our own request was the minimal one). No waiting at all.
+        if let Some(reply) = slot.try_take() {
+            return reply;
+        }
+        for _ in 0..self.spin_budget {
+            std::hint::spin_loop();
+            if let Some(reply) = slot.try_take() {
+                // Spinning paid off; allow a little more of it next time.
+                self.spin_budget = (self.spin_budget.saturating_mul(2)).clamp(1, host_spin_cap());
+                return reply;
+            }
+        }
+        // Spinning failed (or is disabled); park until the driver unparks
+        // us, and spend less time spinning on the next wait.
+        self.spin_budget /= 2;
+        loop {
+            if let Some(reply) = slot.try_take() {
+                return reply;
+            }
+            std::thread::park();
         }
     }
 
     fn roundtrip(&mut self, op: Op) -> Word {
-        // A dead engine means the run was torn down; unwind quietly.
-        if self
-            .req_tx
-            .send(Request {
-                pid: self.pid,
-                issue: self.now,
-                op,
-            })
-            .is_err()
-        {
-            std::panic::panic_any(SimAbort);
-        }
-        match self.reply_rx.recv() {
-            Ok(Reply { abort: true, .. }) | Err(_) => std::panic::panic_any(SimAbort),
-            Ok(Reply { value, now, .. }) => {
+        self.engine.submit(Request {
+            pid: self.pid,
+            issue: self.now,
+            op,
+        });
+        match self.wait_reply() {
+            Reply { abort: true, .. } => std::panic::panic_any(SimAbort),
+            Reply { value, now, .. } => {
                 self.now = now;
                 value
             }
@@ -130,12 +179,25 @@ impl Proc {
 
     /// Advances the local clock by `cycles` without touching memory —
     /// models computation, critical-section work, or backoff.
+    ///
+    /// Executed locally, with no engine roundtrip: a delay has no shared
+    /// effect, so the engine only ever needs to see its result — the issue
+    /// time of this processor's *next* shared operation, which carries the
+    /// accumulated delay. The conservative gather still orders that next
+    /// operation exactly where the old explicit delay request would have
+    /// placed it, so simulated cycle counts are unchanged. The one
+    /// observable duty of the old roundtrip, the time-limit check, is
+    /// preserved by submitting a zero-cycle probe once the local clock
+    /// crosses the limit (also what keeps a delay-only livelock detectable).
     pub fn delay(&mut self, cycles: u64) {
-        self.roundtrip(Op::Delay(cycles));
+        self.now = self.now.saturating_add(cycles);
+        if self.now > self.max_cycles {
+            self.roundtrip(Op::Delay(0));
+        }
     }
 
     pub(crate) fn send_done(&mut self) {
-        let _ = self.req_tx.send(Request {
+        self.engine.submit(Request {
             pid: self.pid,
             issue: self.now,
             op: Op::Done,
@@ -143,7 +205,7 @@ impl Proc {
     }
 
     pub(crate) fn send_panicked(&mut self) {
-        let _ = self.req_tx.send(Request {
+        self.engine.submit(Request {
             pid: self.pid,
             issue: self.now,
             op: Op::Panicked,

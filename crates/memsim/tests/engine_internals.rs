@@ -1,0 +1,153 @@
+//! Integration tests for the engine's handoff machinery: watchpoint wake
+//! ordering, persistent-pool reuse across runs, and abort/panic unwinding
+//! through parked workers.
+//!
+//! These tests observe the *global* worker pool, whose counters are shared
+//! by every test in this binary, so the ones that assert on pool deltas
+//! serialize on [`POOL_GATE`].
+
+use memsim::{pool_stats, Machine, MachineParams, SimError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Serializes tests that assert on global pool counter deltas.
+static POOL_GATE: Mutex<()> = Mutex::new(());
+
+/// Memory layout used by the wake-ordering tests.
+const FLAG: usize = 0;
+const RANK_COUNTER: usize = 1;
+const RANK_BASE: usize = 8;
+
+/// Spinners arrive at the watchpoint at staggered times, two writers
+/// store to the watched word in the same gather round, and every woken
+/// spinner records the order it got through the post-wake fetch_add.
+/// The recorded ranks are pure simulator outputs: five repetitions must
+/// agree bit-for-bit no matter how the host schedules the threads.
+#[test]
+fn wake_order_under_simultaneous_writers_is_deterministic() {
+    let nprocs = 6;
+    let run_once = || {
+        let machine = Machine::new(MachineParams::bus_1991(nprocs));
+        let report = machine
+            .run(nprocs, 32, |p| {
+                match p.pid() {
+                    0 | 1 => {
+                        // Two writers racing to the watched word at the
+                        // same local time: the engine must order them by
+                        // (issue, pid), and the watchers' wake order is
+                        // part of the simulated timing.
+                        p.delay(500);
+                        p.store(FLAG, p.pid() as u64 + 1);
+                    }
+                    pid => {
+                        // Spinners arrive at staggered times so their
+                        // park order differs from pid order.
+                        p.delay(((nprocs - pid) * 40) as u64);
+                        let observed = p.spin_while(FLAG, 0);
+                        assert!(observed == 1 || observed == 2);
+                        let rank = p.fetch_add(RANK_COUNTER, 1);
+                        p.store(RANK_BASE + pid, rank + 1);
+                    }
+                }
+            })
+            .expect("wake-order run");
+        let ranks: Vec<u64> = (2..nprocs).map(|pid| report.memory[RANK_BASE + pid]).collect();
+        (ranks, report.metrics.total_cycles)
+    };
+
+    let first = run_once();
+    // All spinners were woken and ranked exactly once.
+    let mut sorted = first.0.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![1, 2, 3, 4]);
+    for _ in 0..4 {
+        assert_eq!(run_once(), first, "wake order depends on host scheduling");
+    }
+}
+
+/// Back-to-back runs must reuse the pooled workers instead of spawning
+/// fresh threads — the tentpole's "persistent processor pool" claim.
+#[test]
+fn global_pool_reuses_workers_across_runs() {
+    let _gate = POOL_GATE.lock().unwrap();
+    let nprocs = 8;
+    let machine = Machine::new(MachineParams::bus_1991(nprocs));
+    let body = |p: &mut memsim::Proc| {
+        for _ in 0..10 {
+            p.fetch_add(0, 1);
+        }
+    };
+
+    // Warm the pool so the measured runs need no new spawns.
+    machine.run(nprocs, 4, body).expect("warm-up run");
+    let warm = pool_stats();
+    let mut last = machine.run(nprocs, 4, body).expect("first measured run");
+    for _ in 0..4 {
+        let report = machine.run(nprocs, 4, body).expect("repeat run");
+        assert_eq!(report.metrics, last.metrics, "pooled runs must be identical");
+        last = report;
+    }
+    let after = pool_stats();
+    assert_eq!(
+        after.spawned, warm.spawned,
+        "a warm pool must not spawn new workers"
+    );
+    assert!(
+        after.reused >= warm.reused + 5 * (nprocs - 1),
+        "expected ≥{} reuses, saw {} → {}",
+        5 * (nprocs - 1),
+        warm.reused,
+        after.reused
+    );
+}
+
+/// A user panic on one processor while its peers are parked in
+/// watchpoints must unwind everyone, propagate the payload, and leave the
+/// pooled workers healthy enough to run the next simulation.
+#[test]
+fn panic_unwinds_through_parked_workers_and_pool_survives() {
+    let _gate = POOL_GATE.lock().unwrap();
+    let nprocs = 4;
+    let machine = Machine::new(MachineParams::bus_1991(nprocs));
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        machine.run(nprocs, 8, |p| {
+            if p.pid() == 3 {
+                p.delay(100);
+                panic!("deliberate test panic");
+            }
+            // Everyone else parks forever on a word nobody writes.
+            p.spin_until(FLAG, 7);
+        })
+    }));
+    let payload = result.expect_err("user panic must propagate");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or_default();
+    assert_eq!(msg, "deliberate test panic");
+
+    // The same goes for the engine-raised error paths: a deadlock unwinds
+    // parked procs without panicking the caller.
+    let deadlock = machine.run(nprocs, 8, |p| {
+        p.spin_until(FLAG, 7 + p.pid() as u64);
+    });
+    match deadlock {
+        Err(SimError::Deadlock { waiting }) => assert_eq!(waiting.len(), nprocs),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+
+    // And the pool is still fully functional afterwards.
+    let spawned_before = pool_stats().spawned;
+    let report = machine
+        .run(nprocs, 4, |p| {
+            p.fetch_add(0, 1);
+        })
+        .expect("pool must survive unwinding");
+    assert_eq!(report.memory[0], nprocs as u64);
+    assert_eq!(
+        pool_stats().spawned,
+        spawned_before,
+        "recovery run must reuse the unwound workers"
+    );
+}

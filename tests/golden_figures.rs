@@ -1,0 +1,90 @@
+//! Golden-output regression test: every deterministic figure, rendered in
+//! quick mode, must match its committed golden file **byte for byte**.
+//!
+//! This is the cheap always-on version of the guarantee the perf work was
+//! done under ("not a single simulated cycle may change"): the full-mode
+//! outputs are committed under `results/` and take seconds to regenerate,
+//! while the quick sweeps exercise the same engine, kernels, and sweep
+//! fan-out in well under a second. Any engine change that alters simulated
+//! timing — however subtly — shows up here as a diff.
+//!
+//! To re-bless after an *intentional* output change:
+//!
+//! ```text
+//! SYNCMECH_BLESS=1 cargo test --release --test golden_figures
+//! ```
+//!
+//! fig8 is excluded: it measures real host wall-clock and is the one
+//! legitimately nondeterministic figure.
+
+use bench::figures::FIGURES;
+use bench::Opts;
+use std::path::PathBuf;
+
+fn golden_path(binary: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{binary}.txt"))
+}
+
+#[test]
+fn quick_mode_figures_match_golden_files() {
+    let opts = Opts {
+        csv: false,
+        quick: true,
+    };
+    let bless = std::env::var("SYNCMECH_BLESS").map(|v| v == "1").unwrap_or(false);
+    let mut failures = Vec::new();
+    for figure in FIGURES.iter().filter(|f| f.deterministic) {
+        let rendered = (figure.render)(&opts);
+        let path = golden_path(figure.binary);
+        if bless {
+            std::fs::write(&path, &rendered)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e} (run with SYNCMECH_BLESS=1 to create)", path.display()));
+        if rendered != golden {
+            // Find the first differing line for a readable failure.
+            let diff_line = rendered
+                .lines()
+                .zip(golden.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| {
+                    format!(
+                        "first diff at line {}:\n  golden: {}\n  actual: {}",
+                        i + 1,
+                        golden.lines().nth(i).unwrap_or(""),
+                        rendered.lines().nth(i).unwrap_or("")
+                    )
+                })
+                .unwrap_or_else(|| "outputs differ in length only".to_string());
+            failures.push(format!("{}: {diff_line}", figure.id));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "simulated output drifted from the committed goldens — if intentional, \
+         re-bless with SYNCMECH_BLESS=1 and regenerate results/:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_directory_has_no_orphans() {
+    // Every committed golden corresponds to a registered deterministic
+    // figure — catches a renamed binary leaving a stale golden behind.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for entry in std::fs::read_dir(&dir).expect("golden dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        let Some(stem) = name.strip_suffix(".txt") else {
+            panic!("unexpected file in tests/golden: {name}");
+        };
+        assert!(
+            FIGURES.iter().any(|f| f.deterministic && f.binary == stem),
+            "tests/golden/{name} does not match any deterministic figure"
+        );
+    }
+}
