@@ -1,0 +1,15 @@
+//! fig9 — lock passing time vs threads-per-core ratio on the scheduled
+//! (oversubscribed) bus machine.
+//!
+//! Expected shape (the figure's point): pure-spin QSM degrades
+//! superlinearly past 1x threads/core — a descheduled lock holder strands
+//! every spinner for whole scheduling quanta — while the spin-then-park
+//! and always-park variants stay near-flat, crossing over well before 2x.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig9_oversubscription [-- --csv]
+//! ```
+
+fn main() {
+    bench::figures::run_main("fig9");
+}

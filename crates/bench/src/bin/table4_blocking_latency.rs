@@ -1,0 +1,14 @@
+//! table4 — blocking-lock latency: the other side of fig9's bargain.
+//!
+//! For each wait policy: uncontended acquire+release cycles on a dedicated
+//! machine (what the park path costs when never used), passing time under
+//! oversubscription (what it buys), and futex parks per critical section
+//! (how often the slow path actually fires).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table4_blocking_latency [-- --csv]
+//! ```
+
+fn main() {
+    bench::figures::run_main("table4");
+}

@@ -14,6 +14,7 @@ use kernels::{Region, SyncCtx};
 use simcore::table::{fmt_cell, Table};
 use simcore::Series;
 use workloads::csbench::{self, CsConfig};
+use workloads::oversub::{blocking_latency_table, oversubscription_sweep};
 use workloads::rwbench::{run_mutex, run_rwlock, RwConfig};
 use workloads::sweeps::{
     backoff_ablation, barrier_scaling, contention_sweep, lock_scaling, lock_traffic,
@@ -84,6 +85,12 @@ pub static FIGURES: &[Figure] = &[
         render: fig8,
     },
     Figure {
+        id: "fig9",
+        binary: "fig9_oversubscription",
+        deterministic: true,
+        render: fig9,
+    },
+    Figure {
         id: "table1",
         binary: "table1_latency",
         deterministic: true,
@@ -100,6 +107,12 @@ pub static FIGURES: &[Figure] = &[
         binary: "table3_rwlock",
         deterministic: true,
         render: table3,
+    },
+    Figure {
+        id: "table4",
+        binary: "table4_blocking_latency",
+        deterministic: true,
+        render: table4,
     },
 ];
 
@@ -284,6 +297,34 @@ pub fn fig8(opts: &Opts) -> String {
     }
 }
 
+/// The core count fig9 and table4 oversubscribe. Four is the smallest
+/// machine where a descheduled lock holder reliably strands a full spinner
+/// cohort, so the spin collapse is visible even in quick mode.
+const OVERSUB_CORES: usize = 4;
+
+/// fig9 — the spin-vs-block axis: lock passing time vs threads-per-core
+/// ratio on the scheduled bus machine, for pure spin (`qsm`),
+/// spin-then-park (`qsm-block`) and always-park (`qsm-block-park`).
+pub fn fig9(opts: &Opts) -> String {
+    let ratios: Vec<usize> = if opts.quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let series = oversubscription_sweep(OVERSUB_CORES, &ratios, opts.iters());
+    let mut out = series_block(
+        opts,
+        &format!(
+            "Fig 9: lock passing time vs threads per core (bus machine, {OVERSUB_CORES} cores, oversubscribed)"
+        ),
+        &series,
+    );
+    if !opts.csv {
+        out.push_str(&final_ratio_block(&series, "qsm", "qsm-block"));
+    }
+    out
+}
+
 /// table1 — uncontended latency (cycles) of every primitive.
 pub fn table1(opts: &Opts) -> String {
     let mut table = Table::new(&["primitive", "bus cycles", "numa cycles"])
@@ -400,6 +441,43 @@ pub fn table3(opts: &Opts) -> String {
         table.render_csv()
     } else {
         table.render()
+    }
+}
+
+/// table4 — blocking-lock latency: what the park path costs when idle
+/// (uncontended) and what it buys when oversubscribed, per wait policy.
+pub fn table4(opts: &Opts) -> String {
+    let ratio = if opts.quick { 2 } else { 4 };
+    let rows = blocking_latency_table(OVERSUB_CORES, ratio, opts.iters());
+    let passing_col = format!("passing @{ratio}x threads/core");
+    let mut table = Table::new(&[
+        "lock",
+        "uncontended cycles",
+        passing_col.as_str(),
+        "parks per CS",
+    ])
+    .with_title(format!(
+        "Table 4: blocking-lock latency (bus machine, {OVERSUB_CORES} cores)"
+    ));
+    for row in rows {
+        table.row_owned(vec![
+            row.name,
+            fmt_cell(row.uncontended),
+            fmt_cell(row.oversub_passing),
+            format!("{:.2}", row.parks_per_cs),
+        ]);
+    }
+    if opts.csv {
+        table.render_csv()
+    } else {
+        let mut out = table.render();
+        out.push('\n');
+        out.push_str(
+            "(uncontended: acquire+release on a dedicated machine — the cost of having\n\
+             a park path without using it. parks per CS: futex parks per critical\n\
+             section in the oversubscribed trial; pure spin is always 0.)\n",
+        );
+        out
     }
 }
 

@@ -236,6 +236,11 @@ fn run_check(args: &Args) -> ExitCode {
             print_repro(args, &target_spec, &verdict);
             ExitCode::FAILURE
         }
+        Verdict::LostWakeup { parked, .. } => {
+            println!("FAIL: lost wakeup; parked (thread, word): {parked:?}");
+            print_repro(args, &target_spec, &verdict);
+            ExitCode::FAILURE
+        }
         Verdict::Violation { message, .. } => {
             println!("FAIL: {message}");
             print_repro(args, &target_spec, &verdict);

@@ -55,8 +55,24 @@ pub enum Verdict {
     Deadlock {
         /// The thread choices, step by step, that reproduce the deadlock.
         schedule: Vec<usize>,
-        /// Which threads were blocked, on which address.
+        /// Which threads were blocked, on which address (spinners and
+        /// futex-parked threads alike).
         blocked: Vec<(usize, Addr)>,
+        /// Statistics up to discovery.
+        stats: Stats,
+    },
+    /// A schedule was found under which every unfinished thread is parked
+    /// in a futex wait with no thread left to wake it — the **lost
+    /// wakeup**, the bug class the futex's atomic compare-and-block
+    /// exists to prevent. Distinguished from [`Verdict::Deadlock`]
+    /// because the fix differs: a deadlock is a cyclic wait, a lost
+    /// wakeup is a wake issued before the sleeper committed to sleeping
+    /// (or never issued at all).
+    LostWakeup {
+        /// The thread choices, step by step, that reproduce the hang.
+        schedule: Vec<usize>,
+        /// Which threads were parked, on which address.
+        parked: Vec<(usize, Addr)>,
         /// Statistics up to discovery.
         stats: Stats,
     },
@@ -103,6 +119,7 @@ impl Verdict {
         match self {
             Verdict::Passed(s) => *s,
             Verdict::Deadlock { stats, .. }
+            | Verdict::LostWakeup { stats, .. }
             | Verdict::Violation { stats, .. }
             | Verdict::Race { stats, .. }
             | Verdict::Starvation { stats, .. } => *stats,
@@ -114,6 +131,7 @@ impl Verdict {
         match self {
             Verdict::Passed(_) => None,
             Verdict::Deadlock { schedule, .. }
+            | Verdict::LostWakeup { schedule, .. }
             | Verdict::Violation { schedule, .. }
             | Verdict::Race { schedule, .. }
             | Verdict::Starvation { schedule, .. } => Some(schedule),
@@ -127,6 +145,9 @@ impl Verdict {
             Verdict::Deadlock {
                 schedule, blocked, ..
             } => panic!("{what}: deadlock under schedule {schedule:?}; blocked: {blocked:?}"),
+            Verdict::LostWakeup {
+                schedule, parked, ..
+            } => panic!("{what}: lost wakeup under schedule {schedule:?}; parked: {parked:?}"),
             Verdict::Violation {
                 schedule, message, ..
             } => panic!("{what}: violation under schedule {schedule:?}: {message}"),
@@ -183,6 +204,8 @@ enum RunEnd {
     /// of independent steps covered by sibling branches.
     SleepBlocked,
     Deadlock(Vec<(usize, Addr)>),
+    /// Every unfinished thread was futex-parked with nobody left to wake it.
+    LostWakeup(Vec<(usize, Addr)>),
     Panic(String),
     Race(RaceReport),
     Starvation(StarvationReport),
@@ -209,6 +232,9 @@ pub enum ReplayEnd {
     StepLimit,
     /// Every unfinished thread was blocked.
     Deadlock(Vec<(usize, Addr)>),
+    /// Every unfinished thread was futex-parked with nobody left to wake
+    /// it: a lost wakeup.
+    LostWakeup(Vec<(usize, Addr)>),
     /// An in-program assertion failed.
     Panic(String),
     /// The race detector fired.
@@ -255,6 +281,9 @@ impl Replay {
             }
             ReplayEnd::Deadlock(blocked) => {
                 let _ = writeln!(out, "deadlock; blocked: {blocked:?}");
+            }
+            ReplayEnd::LostWakeup(parked) => {
+                let _ = writeln!(out, "lost wakeup; parked: {parked:?}");
             }
             ReplayEnd::Panic(msg) => {
                 let _ = writeln!(out, "panic: {msg}");
@@ -404,6 +433,13 @@ impl Explorer {
                         stats,
                     }
                 }
+                RunEnd::LostWakeup(parked) => {
+                    return Verdict::LostWakeup {
+                        schedule,
+                        parked,
+                        stats,
+                    }
+                }
                 RunEnd::Panic(message) => {
                     return Verdict::Violation {
                         schedule,
@@ -475,6 +511,7 @@ impl Explorer {
             RunEnd::Pruned => ReplayEnd::StepLimit,
             RunEnd::SleepBlocked => unreachable!("replay runs without reduction"),
             RunEnd::Deadlock(blocked) => ReplayEnd::Deadlock(blocked),
+            RunEnd::LostWakeup(parked) => ReplayEnd::LostWakeup(parked),
             RunEnd::Panic(msg) => ReplayEnd::Panic(msg),
             RunEnd::Race(r) => ReplayEnd::Race(r),
             RunEnd::Starvation(s) => ReplayEnd::Starvation(s),
@@ -534,7 +571,10 @@ impl Explorer {
                     rs.cv.notify_all();
                     break RunEnd::Starvation(report);
                 }
-                // Unblock spinners whose predicate now holds.
+                // Unblock spinners whose predicate now holds. Futex-parked
+                // threads are NOT touched here: only an explicit wake
+                // re-readies them — that asymmetry is what lets the
+                // explorer see lost wakeups as hangs.
                 for pid in 0..program.nthreads {
                     if let TState::Blocked(addr, pred) = g.states[pid] {
                         if pred.satisfied(g.memory[addr]) {
@@ -552,12 +592,25 @@ impl Explorer {
                             _ => None,
                         })
                         .collect();
+                    let parked: Vec<(usize, Addr)> = (0..program.nthreads)
+                        .filter_map(|p| match g.states[p] {
+                            TState::Parked(a) => Some((p, a)),
+                            _ => None,
+                        })
+                        .collect();
                     g.aborted = true;
                     rs.cv.notify_all();
-                    break if blocked.is_empty() {
+                    // Pure futex hang → lost wakeup; any spinner in the
+                    // mix → deadlock, listing every stuck thread (the
+                    // spinners are what a waker would have to get past).
+                    break if blocked.is_empty() && parked.is_empty() {
                         RunEnd::Complete(g.memory.clone())
+                    } else if blocked.is_empty() {
+                        RunEnd::LostWakeup(parked)
                     } else {
-                        RunEnd::Deadlock(blocked)
+                        let mut all = blocked;
+                        all.extend(parked);
+                        RunEnd::Deadlock(all)
                     };
                 }
                 if trace.len() >= self.max_steps {
@@ -941,6 +994,128 @@ mod tests {
             ref other => panic!("expected completion, got {other:?}"),
         }
         assert_eq!(replay.ops.len(), 2);
+    }
+
+    #[test]
+    fn futex_change_then_wake_handshake_passes() {
+        // The canonical correct discipline: the waker changes the word and
+        // then wakes; the waiter's compare-and-block closes the window on
+        // the other side. No schedule hangs.
+        let program = Program::new(2, 1, |ctx| {
+            if ctx.pid() == 0 {
+                let mut cur = ctx.load(0);
+                while cur == 0 {
+                    cur = ctx.futex_wait(0, 0);
+                }
+                assert_eq!(cur, 1);
+            } else {
+                ctx.store(0, 1);
+                ctx.futex_wake(0, 1);
+            }
+        });
+        let verdict = Explorer::exhaustive().check(&program, |_| Ok(()));
+        verdict.expect_pass("futex handshake");
+        assert!(verdict.stats().complete);
+    }
+
+    #[test]
+    fn missing_wake_is_reported_as_lost_wakeup() {
+        // The waker changes the word but never wakes: the schedule where
+        // the waiter parks first leaves it parked forever. This must be
+        // reported as a lost wakeup, not a deadlock — there is no cycle.
+        let program = Program::new(2, 1, |ctx| {
+            if ctx.pid() == 0 {
+                let mut cur = ctx.load(0);
+                while cur == 0 {
+                    cur = ctx.futex_wait(0, 0);
+                }
+            } else {
+                ctx.store(0, 1); // no wake
+            }
+        });
+        let verdict = Explorer::exhaustive().check(&program, |_| Ok(()));
+        match verdict {
+            Verdict::LostWakeup {
+                ref parked,
+                ref schedule,
+                ..
+            } => {
+                assert_eq!(parked, &vec![(0usize, 0usize)]);
+                // The verdict's schedule must replay to the same hang.
+                let replay = Explorer::exhaustive().replay(&program, schedule);
+                match replay.end {
+                    ReplayEnd::LostWakeup(ref p) => assert_eq!(p, &vec![(0usize, 0usize)]),
+                    ref other => panic!("replay must reproduce the hang, got {other:?}"),
+                }
+                assert!(replay.render().contains("lost wakeup"));
+            }
+            other => panic!("expected lost wakeup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_spin_and_park_hang_is_a_deadlock() {
+        // One thread spins on a word nobody will change, the other parks on
+        // a word nobody will wake: a spinner in the mix makes it a
+        // deadlock, and both stuck threads are listed.
+        let program = Program::new(2, 2, |ctx| {
+            if ctx.pid() == 0 {
+                ctx.spin_until(0, 1);
+            } else {
+                ctx.futex_wait(1, 0);
+            }
+        });
+        let verdict = Explorer::exhaustive().check(&program, |_| Ok(()));
+        match verdict {
+            Verdict::Deadlock { blocked, .. } => {
+                assert_eq!(blocked, vec![(0, 0), (1, 1)]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn futex_wait_on_changed_word_returns_immediately() {
+        let program = Program::new(1, 1, |ctx| {
+            ctx.store(0, 5);
+            assert_eq!(ctx.futex_wait(0, 0), 5, "compare must defeat the park");
+        });
+        Explorer::exhaustive()
+            .check(&program, |_| Ok(()))
+            .expect_pass("failed compare never parks");
+    }
+
+    #[test]
+    fn replayed_wake_n_of_m_wakes_exactly_the_oldest_n() {
+        // Three threads park in id order, the fourth wakes two without
+        // changing the word. A hand-crafted schedule pins the park order,
+        // so exactly threads 0 and 1 must resume and the youngest parker
+        // (thread 2) must remain — the replay ends as its lost wakeup.
+        let program = Program::new(4, 2, |ctx| {
+            if ctx.pid() < 3 {
+                ctx.futex_wait(0, 0);
+                ctx.fetch_add(1, 1);
+            } else {
+                assert_eq!(ctx.futex_wake(0, 2), 2, "must wake exactly 2 of 3");
+            }
+        });
+        // park 0, park 1, park 2, wake, resume 0, add 0, resume 1, add 1.
+        let schedule = [0, 1, 2, 3, 0, 0, 1, 1];
+        let replay = Explorer::exhaustive().replay(&program, &schedule);
+        match replay.end {
+            ReplayEnd::LostWakeup(ref parked) => {
+                assert_eq!(parked, &vec![(2usize, 0usize)]);
+            }
+            ref other => panic!("expected thread 2 left parked, got {other:?}"),
+        }
+        // Both woken threads completed their increments.
+        let adds = replay
+            .ops
+            .iter()
+            .filter(|op| op.kind == crate::program::OpKind::Rmw)
+            .count();
+        assert_eq!(adds, 2);
+        assert!(replay.render().contains("futex-wake"));
     }
 
     #[test]

@@ -61,12 +61,24 @@ pub enum OpKind {
     DataStore,
     /// One probe of a watchpoint spin (`spin_while` / `spin_until`).
     SpinRead,
+    /// The atomic compare-and-block of [`SyncCtx::futex_wait`] (also the
+    /// resume step a woken waiter takes to re-read the word).
+    FutexWait,
+    /// A [`SyncCtx::futex_wake`] draining parked waiters of a word.
+    FutexWake,
 }
 
 impl OpKind {
     /// Can the operation modify memory?
     pub fn is_write(self) -> bool {
         matches!(self, OpKind::SyncStore | OpKind::Rmw | OpKind::DataStore)
+    }
+
+    /// Is the operation part of the futex protocol? Futex ops interact
+    /// through the wait queue, not (only) through the word's value, so
+    /// dependence treats them like writes even though they modify nothing.
+    pub fn is_futex(self) -> bool {
+        matches!(self, OpKind::FutexWait | OpKind::FutexWake)
     }
 }
 
@@ -79,6 +91,8 @@ impl std::fmt::Display for OpKind {
             OpKind::DataLoad => "data-load",
             OpKind::DataStore => "data-store",
             OpKind::SpinRead => "spin",
+            OpKind::FutexWait => "futex-wait",
+            OpKind::FutexWake => "futex-wake",
         };
         f.write_str(s)
     }
@@ -96,9 +110,18 @@ impl OpMeta {
     /// Mazurkiewicz dependence: two operations commute unless they touch
     /// the same word and at least one can write it. Spin probes and loads
     /// of the same word commute; anything involving a write to the shared
-    /// word does not.
+    /// word does not. Futex operations on a word never commute with any
+    /// other operation on it: waits enqueue in FIFO order (a partial wake
+    /// observes that order) and wakes transfer queue entries, so reordering
+    /// them against each other — or against the reads they compare with —
+    /// changes the run. Treating them as conservatively dependent keeps the
+    /// sleep-set reduction sound.
     pub(crate) fn dependent(self, other: OpMeta) -> bool {
-        self.addr == other.addr && (self.kind.is_write() || other.kind.is_write())
+        self.addr == other.addr
+            && (self.kind.is_write()
+                || other.kind.is_write()
+                || self.kind.is_futex()
+                || other.kind.is_futex())
     }
 }
 
@@ -194,6 +217,12 @@ pub(crate) enum TState {
     Ready,
     /// Parked in a spin whose predicate is false.
     Blocked(Addr, Pred),
+    /// Parked in a futex wait on the word. Unlike [`TState::Blocked`], the
+    /// scheduler never re-readies a parked thread on its own: only a
+    /// [`kernels::SyncCtx::futex_wake`] covering it does. That asymmetry is
+    /// the whole point — a kernel that loses a wakeup leaves the thread
+    /// parked forever, and the explorer reports it as such.
+    Parked(Addr),
     /// Body returned (or unwound).
     Finished,
 }
@@ -210,6 +239,9 @@ pub(crate) struct Shared {
     pub aborted: bool,
     /// Each parked thread's next operation (valid while Ready/Blocked).
     pub pending: Vec<Option<OpMeta>>,
+    /// FIFO futex wait queue: `(word, thread)` in park order, across all
+    /// words (wakes drain the oldest entries matching their word).
+    pub futexq: Vec<(Addr, usize)>,
     /// Happens-before engine for this run.
     pub race: RaceDetector,
     /// First race detected this run.
@@ -297,7 +329,12 @@ impl Shared {
     fn track_access(&mut self, pid: usize, meta: OpMeta, op_index: usize) {
         match meta.kind {
             OpKind::SyncLoad | OpKind::SpinRead => self.race.sync_read(pid, meta.addr),
-            OpKind::SyncStore => self.race.sync_write(pid, meta.addr),
+            // A wait reads the word (the compare); a wake behaves like a
+            // release on it — the waker's prior writes happen-before the
+            // wakee's resume, which is exactly the sync-write/sync-read
+            // pairing on the futex word.
+            OpKind::FutexWait => self.race.sync_read(pid, meta.addr),
+            OpKind::SyncStore | OpKind::FutexWake => self.race.sync_write(pid, meta.addr),
             OpKind::Rmw => {
                 self.race.sync_read(pid, meta.addr);
                 self.race.sync_write(pid, meta.addr);
@@ -353,6 +390,7 @@ impl RunState {
                 panic_msg: None,
                 aborted: false,
                 pending: vec![None; nthreads],
+                futexq: Vec::new(),
                 race: RaceDetector::new(nthreads, words),
                 race_report: None,
                 starvation: None,
@@ -447,6 +485,97 @@ impl ChkCtx {
             }
         }
     }
+
+    /// The futex wait. The first granted step is the atomic
+    /// compare-and-block: the word is read and, if it still equals
+    /// `expected`, the thread enqueues on the futex queue and becomes
+    /// [`TState::Parked`] in the same step — no window for a wake to slip
+    /// through. A parked thread is unschedulable until some wake re-readies
+    /// it, after which one more granted step re-reads and returns the word.
+    fn futex_wait_op(&mut self, addr: Addr, expected: Word) -> Word {
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::FutexWait,
+        };
+        let mut g = self.rs.mu.lock().unwrap();
+        g.pending[self.pid] = Some(meta);
+        g.states[self.pid] = TState::Ready;
+        self.rs.cv.notify_all();
+        let mut compared = false;
+        loop {
+            if g.aborted {
+                drop(g);
+                std::panic::panic_any(ChkAbort);
+            }
+            if g.grant == Some(self.pid) {
+                g.grant = None;
+                g.apply_lock_events(self.pid, &mut self.events);
+                g.note_wait_op(self.pid, meta);
+                g.track_access(self.pid, meta, self.ops_done);
+                let cur = g.memory[addr];
+                g.finish_op(self.pid, meta);
+                self.ops_done += 1;
+                if !compared && cur == expected {
+                    compared = true;
+                    g.futexq.push((addr, self.pid));
+                    g.states[self.pid] = TState::Parked(addr);
+                    self.rs.cv.notify_all();
+                    continue;
+                }
+                g.states[self.pid] = TState::Running;
+                self.rs.cv.notify_all();
+                return cur;
+            }
+            g = self.rs.cv.wait(g).unwrap();
+        }
+    }
+
+    /// The futex wake: one granted step that drains up to `n` of the
+    /// oldest futex-queue entries for `addr` and re-readies their threads.
+    fn futex_wake_op(&mut self, addr: Addr, n: usize) -> usize {
+        let meta = OpMeta {
+            addr,
+            kind: OpKind::FutexWake,
+        };
+        let mut g = self.rs.mu.lock().unwrap();
+        g.pending[self.pid] = Some(meta);
+        g.states[self.pid] = TState::Ready;
+        self.rs.cv.notify_all();
+        loop {
+            if g.aborted {
+                drop(g);
+                std::panic::panic_any(ChkAbort);
+            }
+            if g.grant == Some(self.pid) {
+                break;
+            }
+            g = self.rs.cv.wait(g).unwrap();
+        }
+        g.grant = None;
+        g.states[self.pid] = TState::Running;
+        g.apply_lock_events(self.pid, &mut self.events);
+        g.note_wait_op(self.pid, meta);
+        g.track_access(self.pid, meta, self.ops_done);
+        let mut woken = 0;
+        let mut i = 0;
+        while i < g.futexq.len() && woken < n {
+            if g.futexq[i].0 == addr {
+                let (_, thread) = g.futexq.remove(i);
+                debug_assert!(
+                    matches!(g.states[thread], TState::Parked(_)),
+                    "futex queue entry for a non-parked thread"
+                );
+                g.states[thread] = TState::Ready;
+                woken += 1;
+            } else {
+                i += 1;
+            }
+        }
+        g.finish_op(self.pid, meta);
+        self.ops_done += 1;
+        self.rs.cv.notify_all();
+        woken
+    }
 }
 
 impl SyncCtx for ChkCtx {
@@ -529,6 +658,12 @@ impl SyncCtx for ChkCtx {
     }
     fn lock_event(&mut self, event: LockEvent) {
         self.events.push(event);
+    }
+    fn futex_wait(&mut self, addr: Addr, expected: Word) -> Word {
+        self.futex_wait_op(addr, expected)
+    }
+    fn futex_wake(&mut self, addr: Addr, n: usize) -> usize {
+        self.futex_wake_op(addr, n)
     }
 }
 

@@ -80,6 +80,28 @@ pub trait SyncCtx {
     fn lock_event(&mut self, event: LockEvent) {
         let _ = event;
     }
+
+    /// Futex wait: blocks iff the word still equals `expected`, with the
+    /// check and the block performed as one atomic step; returns the word's
+    /// last observed value. May return spuriously (a wake without a state
+    /// change), so callers must loop re-checking their condition.
+    ///
+    /// The default degrades to [`SyncCtx::spin_while`], which is a correct
+    /// (if blocking-free) implementation for any kernel that follows the
+    /// "change the word, then wake" discipline: the change itself releases
+    /// the spinner. Substrates with a real parking runtime override both
+    /// futex methods.
+    fn futex_wait(&mut self, addr: Addr, expected: Word) -> Word {
+        self.spin_while(addr, expected)
+    }
+
+    /// Wakes up to `n` threads blocked in [`SyncCtx::futex_wait`] on `addr`
+    /// (FIFO), returning how many were woken. The default is a no-op: with
+    /// the spin-degraded `futex_wait`, the word change performs the wake.
+    fn futex_wake(&mut self, addr: Addr, n: usize) -> usize {
+        let _ = (addr, n);
+        0
+    }
 }
 
 impl SyncCtx for memsim::Proc {
@@ -112,6 +134,12 @@ impl SyncCtx for memsim::Proc {
     }
     fn delay(&mut self, cycles: u64) {
         memsim::Proc::delay(self, cycles)
+    }
+    fn futex_wait(&mut self, addr: Addr, expected: Word) -> Word {
+        memsim::Proc::futex_wait(self, addr, expected)
+    }
+    fn futex_wake(&mut self, addr: Addr, n: usize) -> usize {
+        memsim::Proc::futex_wake(self, addr, n)
     }
 }
 

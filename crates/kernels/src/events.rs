@@ -36,10 +36,11 @@ impl EventCount {
         ctx.load(self.addr)
     }
 
-    /// Increments the count, waking any processor awaiting the new value.
-    /// Returns the value *after* the advance.
+    /// Increments the count (wrapping, like the underlying fetch-and-add),
+    /// waking any processor awaiting the new value. Returns the value
+    /// *after* the advance.
     pub fn advance(&self, ctx: &mut dyn SyncCtx) -> Word {
-        ctx.fetch_add(self.addr, 1) + 1
+        ctx.fetch_add(self.addr, 1).wrapping_add(1)
     }
 
     /// Blocks until the count is **exactly** `value`.
@@ -59,10 +60,14 @@ impl EventCount {
     /// Blocks until the count is at least `value` (Reed–Kanodia `await`).
     ///
     /// Re-arms on every observed change, so it is correct even when the
-    /// count jumps past `value` between probes.
+    /// count jumps past `value` between probes. The comparison is
+    /// wraparound-safe sequence arithmetic — `value` is "reached" when the
+    /// signed distance `count - value` is non-negative — so an eventcount
+    /// that has been advanced past `u64::MAX` keeps working (a plain `<`
+    /// would see the wrapped count as small and return early).
     pub fn await_at_least(&self, ctx: &mut dyn SyncCtx, value: Word) -> Word {
         let mut cur = ctx.load(self.addr);
-        while cur < value {
+        while (cur.wrapping_sub(value) as i64) < 0 {
             cur = ctx.spin_while(self.addr, cur);
         }
         cur
@@ -203,6 +208,36 @@ mod tests {
                 }
             })
             .unwrap();
+    }
+
+    #[test]
+    fn await_at_least_survives_sequence_wraparound() {
+        // Count starts just below u64::MAX; the producer advances it across
+        // the wrap. A waiter for the post-wrap value 1 must actually wait
+        // (a plain `<` compare would see MAX-1 >= 1 and return at once).
+        let region = Region::new(0, 8, 1);
+        let machine = Machine::new(MachineParams::bus_1991(2));
+        let mut memory = vec![0; region.words() + 1];
+        let flag = region.words();
+        memory[region.slot(0)] = u64::MAX - 1;
+        let report = machine
+            .run_with_init(2, memory, move |p| {
+                let ec = EventCount::in_region(&region, 0);
+                if p.pid() == 0 {
+                    let seen = ec.await_at_least(p, 1);
+                    assert_eq!(seen, 1, "woke before the wrap completed");
+                    SyncCtx::store(p, flag, 7);
+                } else {
+                    SyncCtx::delay(p, 300);
+                    assert_eq!(ec.advance(p), u64::MAX);
+                    SyncCtx::delay(p, 300);
+                    assert_eq!(ec.advance(p), 0);
+                    SyncCtx::delay(p, 300);
+                    assert_eq!(ec.advance(p), 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[flag], 7);
     }
 
     #[test]

@@ -16,12 +16,19 @@
 //! | [`clh`] | CLH implicit-queue lock | predecessor's line only |
 //! | [`mcs`] | MCS explicit-queue lock | own node only |
 //! | [`qsm`] | **QSM — the reconstructed mechanism** | own grant word only |
+//! | [`qsm_blocking`] | QSM + spin-then-park futex wait | parks after a bounded spin |
+//!
+//! [`all_locks`] enumerates the paper's spin-lock study and is what the
+//! fig1–fig8 sweeps iterate over; the blocking variant is wired into its own
+//! oversubscription figures (`fig9`, `table4`) instead, because it answers a
+//! different question (spin vs. block, not spin vs. spin).
 
 pub mod anderson;
 pub mod clh;
 pub mod graunke_thakkar;
 pub mod mcs;
 pub mod qsm;
+pub mod qsm_blocking;
 pub mod tas;
 pub mod tas_backoff;
 pub mod ticket;

@@ -10,13 +10,13 @@
 //!
 //! ## Handoff protocol (the host-performance core)
 //!
-//! There is **no engine thread**. The engine state ([`EngineCore`]) lives
-//! under a mutex in [`EngineShared`]; every processor thread submits its
+//! There is **no engine thread**. The engine state (`EngineCore`) lives
+//! under a mutex in `EngineShared`; every processor thread submits its
 //! request under that lock, and whichever submission makes the count of
 //! still-running processors reach zero *drives* the engine inline: it
 //! executes globally-minimal pending requests until some processor is
 //! runnable again. Replies travel through per-processor SPSC slots
-//! ([`Slot`]) — an atomic state word plus an adaptive spin-then-park wait —
+//! (`Slot`) — an atomic state word plus an adaptive spin-then-park wait —
 //! so a handoff between two processors costs one unpark/park pair instead
 //! of the two mpsc rendezvous (four context switches) of the previous
 //! design, and a processor whose own request is executed inline (always the
@@ -48,11 +48,11 @@ use crate::cache::{Cache, LineState};
 use crate::directory::Directory;
 use crate::interconnect::Interconnect;
 use crate::metrics::Metrics;
-use crate::params::MachineParams;
+use crate::params::{MachineParams, SchedParams};
 use crate::{Addr, SimError, Word};
 use std::cell::UnsafeCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::thread::Thread;
@@ -84,6 +84,11 @@ pub(crate) enum Op {
     Cas(Addr, Word, Word),
     FetchAdd(Addr, Word),
     Spin(Addr, WaitPred),
+    /// Park if the word still equals the expected value (checked atomically
+    /// against engine memory); return immediately otherwise.
+    FutexWait(Addr, Word),
+    /// Wake up to `n` processors parked on the word, FIFO.
+    FutexWake(Addr, u64),
     Delay(u64),
     Done,
     /// The processor's closure panicked; the payload is kept thread-side.
@@ -116,7 +121,7 @@ const SLOT_READY: u32 = 1;
 /// Single-producer single-consumer reply slot.
 ///
 /// The producer is whichever thread drives the engine (always under the
-/// [`EngineShared`] mutex, so producers are serialized); the consumer is the
+/// `EngineShared` mutex, so producers are serialized); the consumer is the
 /// owning processor thread. `state` carries the publication: the producer
 /// writes the reply, stores `SLOT_READY` with release ordering, and unparks
 /// the consumer; the consumer observes `SLOT_READY` with acquire ordering,
@@ -274,11 +279,38 @@ enum ProcState {
         /// When the processor went to sleep, for spin-wait accounting.
         sleep_start: u64,
     },
+    /// Parked in `futex_wait`; released only by an explicit wake.
+    ParkedFutex {
+        addr: Addr,
+        /// The value observed at park time (reported on a lost wakeup).
+        expected: Word,
+        /// When the processor parked, for wait accounting.
+        sleep_start: u64,
+    },
+    /// Off-core with a deferred request, waiting for the scheduler to find
+    /// it a core (only with [`MachineParams::sched`] configured).
+    ReadyQueued(Request),
     Done,
 }
 
+/// Oversubscription scheduler state: P logical processors multiplexed onto
+/// `params.cores` anonymous execution slots.
+#[derive(Debug)]
+struct SchedState {
+    p: SchedParams,
+    /// Whether the processor currently holds a core.
+    on_core: Vec<bool>,
+    /// Free-at times of unoccupied cores, min first. Cores carry no other
+    /// state, so a heap of timestamps is the whole allocator.
+    free_cores: BinaryHeap<Reverse<u64>>,
+    /// FIFO of processors waiting for a core (state [`ProcState::ReadyQueued`]).
+    ready: VecDeque<usize>,
+    /// When the processor's current quantum started, indexed by pid.
+    slice_start: Vec<u64>,
+}
+
 /// The engine state proper: coherence machinery, request bookkeeping, and
-/// the outcome of the run. Only ever touched under [`EngineShared`]'s mutex.
+/// the outcome of the run. Only ever touched under `EngineShared`'s mutex.
 pub(crate) struct EngineCore {
     params: MachineParams,
     memory: Vec<Word>,
@@ -289,6 +321,10 @@ pub(crate) struct EngineCore {
     states: Vec<ProcState>,
     /// Word address → pids parked on it (details live in `states`).
     watchers: WatchTable,
+    /// Word address → pids parked on it by `futex_wait`, FIFO.
+    futexq: WatchTable,
+    /// Oversubscription scheduler, when configured.
+    sched: Option<SchedState>,
     /// Pending requests as `(issue, pid)`, min first. Exact — a processor
     /// is pushed when it submits and popped exactly once when executed.
     pending: BinaryHeap<Reverse<(u64, usize)>>,
@@ -308,6 +344,13 @@ impl EngineCore {
         params.validate();
         assert!((1..=128).contains(&nprocs), "1..=128 processors supported");
         let net = Interconnect::new(&params);
+        let sched = params.sched.map(|p| SchedState {
+            on_core: vec![false; nprocs],
+            free_cores: (0..p.cores).map(|_| Reverse(0)).collect(),
+            ready: VecDeque::new(),
+            slice_start: vec![0; nprocs],
+            p,
+        });
         EngineCore {
             caches: (0..nprocs).map(|_| Cache::new(params.cache_lines)).collect(),
             dir: Directory::new(),
@@ -315,6 +358,8 @@ impl EngineCore {
             metrics: Metrics::new(nprocs),
             states: (0..nprocs).map(|_| ProcState::Running).collect(),
             watchers: WatchTable::new(init_memory.len()),
+            futexq: WatchTable::new(init_memory.len()),
+            sched,
             pending: BinaryHeap::with_capacity(nprocs),
             outstanding: nprocs,
             aborted: false,
@@ -337,23 +382,37 @@ impl EngineCore {
         while self.outstanding == 0 && !self.aborted {
             let Some(Reverse((_, pid))) = self.pending.pop() else {
                 // No pending work. Either everyone is done, or the remainder
-                // are all parked on watchpoints: deadlock.
-                let waiting: Vec<(usize, Addr, Word)> = self
-                    .states
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(pid, s)| match s {
+                // are blocked: all-parked ⇒ lost wakeup, otherwise deadlock.
+                // (A ReadyQueued processor cannot coexist with an empty heap:
+                // every core release dispatches the ready queue, and with no
+                // Pending request left no core is held.)
+                let mut waiting: Vec<(usize, Addr, Word)> = Vec::new();
+                let mut parked: Vec<(usize, Addr, Word)> = Vec::new();
+                for (pid, s) in self.states.iter().enumerate() {
+                    match s {
                         ProcState::Waiting { addr, pred, .. } => {
                             let shown = match pred {
                                 WaitPred::WhileEq(v) => *v,
                                 WaitPred::UntilEq(v) => !*v,
                             };
-                            Some((pid, *addr, shown))
+                            waiting.push((pid, *addr, shown));
                         }
-                        _ => None,
-                    })
-                    .collect();
-                if !waiting.is_empty() {
+                        ProcState::ParkedFutex { addr, expected, .. } => {
+                            parked.push((pid, *addr, *expected));
+                        }
+                        ProcState::ReadyQueued(_) => {
+                            unreachable!("p{pid} ready-queued with an idle machine")
+                        }
+                        _ => {}
+                    }
+                }
+                if waiting.is_empty() && !parked.is_empty() {
+                    self.error = Some(SimError::LostWakeup { parked });
+                    self.abort_all(slots);
+                } else if !waiting.is_empty() {
+                    // Mixed spin/park blockage is still a deadlock; list
+                    // every blocked processor.
+                    waiting.extend(parked);
                     self.error = Some(SimError::Deadlock { waiting });
                     self.abort_all(slots);
                 }
@@ -364,12 +423,87 @@ impl EngineCore {
             else {
                 unreachable!("heap entry for p{pid} was not Pending");
             };
+            // The scheduler may defer the request (no core, or preempted at
+            // a quantum boundary) instead of letting it execute now.
+            let Some(req) = self.admit(req) else { continue };
             if let Err(e) = self.execute(req, slots, driver) {
                 self.error = Some(e);
                 self.abort_all(slots);
                 return;
             }
         }
+    }
+
+    /// Scheduler admission for a popped request. Returns the request
+    /// (possibly the caller should execute it now) or `None` if it was
+    /// deferred: re-queued with an adjusted issue time (core assignment),
+    /// or parked in the ready queue (no free core / preempted).
+    fn admit(&mut self, req: Request) -> Option<Request> {
+        let Some(sched) = self.sched.as_mut() else {
+            return Some(req);
+        };
+        let pid = req.pid;
+        if sched.on_core[pid] {
+            // Lazy preemption: past the quantum and somebody wants the core.
+            if !sched.ready.is_empty() && req.issue >= sched.slice_start[pid] + sched.p.quantum {
+                sched.on_core[pid] = false;
+                sched.free_cores.push(Reverse(req.issue));
+                sched.ready.push_back(pid);
+                self.states[pid] = ProcState::ReadyQueued(req);
+                self.dispatch_ready();
+                return None;
+            }
+            return Some(req);
+        }
+        // Off-core: grab a core or join the ready queue.
+        let Some(Reverse(free_at)) = sched.free_cores.pop() else {
+            sched.ready.push_back(pid);
+            self.states[pid] = ProcState::ReadyQueued(req);
+            return None;
+        };
+        sched.on_core[pid] = true;
+        let start = req.issue.max(free_at) + sched.p.ctx_switch_cycles;
+        sched.slice_start[pid] = start;
+        self.metrics.per_proc[pid].ctx_switches += 1;
+        if start > req.issue {
+            // Re-queue at the adjusted issue so execution order stays
+            // globally sorted; at the next pop the processor is on-core.
+            self.states[pid] = ProcState::Pending(Request { issue: start, ..req });
+            self.pending.push(Reverse((start, pid)));
+            return None;
+        }
+        Some(req)
+    }
+
+    /// Hands free cores to ready-queued processors, FIFO.
+    fn dispatch_ready(&mut self) {
+        let Some(sched) = self.sched.as_mut() else { return };
+        while !sched.ready.is_empty() && !sched.free_cores.is_empty() {
+            let pid = sched.ready.pop_front().expect("checked non-empty");
+            let Reverse(free_at) = sched.free_cores.pop().expect("checked non-empty");
+            let ProcState::ReadyQueued(req) =
+                std::mem::replace(&mut self.states[pid], ProcState::Running)
+            else {
+                unreachable!("ready-queue entry for p{pid} was not ReadyQueued");
+            };
+            sched.on_core[pid] = true;
+            let start = req.issue.max(free_at) + sched.p.ctx_switch_cycles;
+            sched.slice_start[pid] = start;
+            self.metrics.per_proc[pid].ctx_switches += 1;
+            self.states[pid] = ProcState::Pending(Request { issue: start, ..req });
+            self.pending.push(Reverse((start, pid)));
+        }
+    }
+
+    /// Releases the core a processor holds (park, finish) and re-dispatches.
+    fn release_core(&mut self, pid: usize, now: u64) {
+        if let Some(sched) = self.sched.as_mut() {
+            if sched.on_core[pid] {
+                sched.on_core[pid] = false;
+                sched.free_cores.push(Reverse(now));
+            }
+        }
+        self.dispatch_ready();
     }
 
     fn execute(&mut self, req: Request, slots: &[Slot], driver: usize) -> Result<(), SimError> {
@@ -382,7 +516,9 @@ impl EngineCore {
             | Op::Swap(a, _)
             | Op::Cas(a, _, _)
             | Op::FetchAdd(a, _)
-            | Op::Spin(a, _) => Some(a),
+            | Op::Spin(a, _)
+            | Op::FutexWait(a, _)
+            | Op::FutexWake(a, _) => Some(a),
             Op::Delay(_) | Op::Done | Op::Panicked => None,
         };
         if let Some(addr) = touched {
@@ -436,6 +572,22 @@ impl EngineCore {
                 let cur = self.memory[addr];
                 if pred.satisfied(cur) {
                     (cur, t)
+                } else if let Some(sched) = &self.sched {
+                    // Under the scheduler a spinner busy-polls its core
+                    // instead of sleeping on a watchpoint: the probe is
+                    // re-queued after the poll interval, the core stays
+                    // occupied, and quantum preemption applies as to any
+                    // other processor. This is what makes pure spinning
+                    // collapse once threads outnumber cores.
+                    let next = t + sched.p.spin_poll_cycles;
+                    self.metrics.per_proc[pid].spin_wait_cycles += next - req.issue;
+                    self.states[pid] = ProcState::Pending(Request {
+                        pid,
+                        issue: next,
+                        op: req.op,
+                    });
+                    self.pending.push(Reverse((next, pid)));
+                    return self.check_time(t);
                 } else {
                     self.states[pid] = ProcState::Waiting {
                         addr,
@@ -447,6 +599,60 @@ impl EngineCore {
                     // No reply yet; the processor stays parked.
                     return self.check_time(t);
                 }
+            }
+            Op::FutexWait(addr, expected) => {
+                // The probe is charged like a load; the value check happens
+                // against engine memory under the engine lock, which is the
+                // atomic compare-and-block the futex contract requires.
+                self.metrics.per_proc[pid].loads += 1;
+                let t = self.access(pid, addr, AccessKind::Read, req.issue);
+                let cur = self.memory[addr];
+                if cur != expected {
+                    (cur, t)
+                } else {
+                    self.metrics.per_proc[pid].futex_parks += 1;
+                    self.states[pid] = ProcState::ParkedFutex {
+                        addr,
+                        expected,
+                        sleep_start: t,
+                    };
+                    self.futexq.push(addr, pid);
+                    // A parked processor yields its core immediately.
+                    self.release_core(pid, t);
+                    return self.check_time(t);
+                }
+            }
+            Op::FutexWake(addr, n) => {
+                let pids = self.futexq.take(addr);
+                let mut rest = PidList::default();
+                let mut woken = 0u64;
+                let mut t = req.issue;
+                let wake_cost = self.params.wake_cycles();
+                for wpid in pids.iter() {
+                    if woken < n {
+                        woken += 1;
+                        // The waker pays a modeled remote write into each
+                        // wakee's parker state, serialized per wakee.
+                        t += wake_cost;
+                        self.metrics.interconnect_transactions += 1;
+                        let ProcState::ParkedFutex { sleep_start, .. } = self.states[wpid]
+                        else {
+                            unreachable!("futex queue out of sync for p{wpid}");
+                        };
+                        self.metrics.per_proc[wpid].wakeups += 1;
+                        self.metrics.per_proc[wpid].spin_wait_cycles +=
+                            t.saturating_sub(sleep_start);
+                        // The wakee resumes off-core; its next submission
+                        // re-enters through the scheduler's ready queue.
+                        self.reply(slots, driver, wpid, self.memory[addr], t);
+                    } else {
+                        rest.push(wpid);
+                    }
+                }
+                if !rest.is_empty() {
+                    self.futexq.restore(addr, rest);
+                }
+                (woken, t)
             }
             Op::Delay(cycles) => (0, req.issue.saturating_add(cycles)),
             Op::Done | Op::Panicked => unreachable!("handled at submission"),
@@ -692,6 +898,7 @@ impl EngineShared {
                 core.metrics.per_proc[req.pid].finish_time = req.issue;
                 core.metrics.total_cycles = core.metrics.total_cycles.max(req.issue);
                 core.states[req.pid] = ProcState::Done;
+                core.release_core(req.pid, req.issue);
             }
             Op::Panicked => {
                 core.user_panicked = true;

@@ -52,6 +52,18 @@
 //! This is both how 1991 hardware behaved (spinning on a cached copy is free
 //! until the line is invalidated) and what keeps simulation cost proportional
 //! to coherence events rather than spin iterations.
+//!
+//! ## Blocking and oversubscription
+//!
+//! [`Proc::futex_wait`] / [`Proc::futex_wake`] are word-sized blocking
+//! primitives with the Linux-futex contract: the wait parks only if the word
+//! still holds the expected value (checked atomically inside the engine), and
+//! a wake costs the waker a modeled remote write per wakee. Setting
+//! [`MachineParams::sched`] to a [`SchedParams`] multiplexes P logical
+//! processors onto fewer cores with round-robin quanta — the oversubscribed
+//! regime where spinning burns whole scheduling quanta but a parked processor
+//! yields its core immediately. A run in which every live processor is parked
+//! with no waker left terminates with [`SimError::LostWakeup`].
 
 pub mod cache;
 pub mod directory;
@@ -65,7 +77,7 @@ pub mod proc;
 
 pub use machine::{Machine, RunReport};
 pub use metrics::{Metrics, ProcMetrics};
-pub use params::{MachineParams, Topology};
+pub use params::{MachineParams, SchedParams, Topology};
 pub use pool::{pool_stats, PoolStats};
 pub use proc::Proc;
 
@@ -98,6 +110,15 @@ pub enum SimError {
         /// The out-of-bounds word address.
         addr: Addr,
     },
+    /// Every live processor is parked in `futex_wait` and nobody is left to
+    /// wake them — the classic lost-wakeup bug (a waker that changed the word
+    /// without issuing a wake, or woke before the sleeper parked without the
+    /// atomic re-check the futex protocol exists to provide).
+    LostWakeup {
+        /// Parked processors with the futex word each sleeps on and the value
+        /// it observed when it parked.
+        parked: Vec<(usize, Addr, Word)>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -115,6 +136,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::Fault { pid, addr } => {
                 write!(f, "processor {pid} accessed out-of-bounds word {addr}")
+            }
+            SimError::LostWakeup { parked } => {
+                write!(f, "lost wakeup; parked processors: ")?;
+                for (pid, addr, val) in parked {
+                    write!(f, "[p{pid} parked on mem[{addr}]=={val}] ")?;
+                }
+                Ok(())
             }
         }
     }

@@ -489,6 +489,196 @@ mod tests {
     }
 
     #[test]
+    fn futex_wait_returns_immediately_on_changed_word() {
+        let report = bus(1)
+            .run_with_init(1, vec![3], |p| {
+                // Word is 3, expected 0: no park, current value returned.
+                assert_eq!(p.futex_wait(0, 0), 3);
+            })
+            .unwrap();
+        assert_eq!(report.metrics.futex_parks(), 0);
+        assert_eq!(report.metrics.wakeups(), 0);
+    }
+
+    #[test]
+    fn futex_park_and_wake_crosses_processors() {
+        let report = bus(2)
+            .run(2, 2, |p| {
+                if p.pid() == 0 {
+                    let mut cur = p.load(0);
+                    while cur == 0 {
+                        cur = p.futex_wait(0, 0);
+                        if cur == 0 {
+                            cur = p.load(0);
+                        }
+                    }
+                    assert_eq!(cur, 1);
+                    p.store(1, 42);
+                } else {
+                    p.delay(500);
+                    p.store(0, 1);
+                    p.futex_wake(0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[1], 42);
+        assert_eq!(report.metrics.futex_parks(), 1);
+        assert_eq!(report.metrics.per_proc[0].wakeups, 1);
+        assert!(report.metrics.per_proc[0].spin_wait_cycles > 0);
+    }
+
+    #[test]
+    fn futex_wake_releases_exactly_n_in_fifo_order() {
+        // Processors 1..=3 park on word 0; processor 0 wakes two, checks the
+        // count, then wakes the rest. Each wakee grabs a rank from word 1 and
+        // records it, so FIFO wake order is directly observable.
+        let report = bus(4)
+            .run(4, 6, |p| {
+                if p.pid() == 0 {
+                    p.delay(2000); // let all three waiters park first
+                    assert_eq!(p.futex_wake(0, 2), 2);
+                    p.delay(2000);
+                    assert_eq!(p.futex_wake(0, 2), 1, "only one waiter left");
+                } else {
+                    p.delay(p.pid() as u64 * 10); // park order = pid order
+                    p.futex_wait(0, 0);
+                    let rank = p.fetch_add(1, 1);
+                    p.store(2 + p.pid(), rank + 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.metrics.futex_parks(), 3);
+        // Park order was pid 1, 2, 3; wake order (and thus rank) must match.
+        assert_eq!(&report.memory[3..6], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn all_parked_with_no_waker_is_lost_wakeup() {
+        let err = bus(2)
+            .run(2, 1, |p| {
+                p.futex_wait(0, 0); // nobody will ever wake us
+            })
+            .unwrap_err();
+        match err {
+            SimError::LostWakeup { parked } => {
+                assert_eq!(parked, vec![(0, 0, 0), (1, 0, 0)]);
+            }
+            other => panic!("expected lost wakeup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_spin_and_park_blockage_is_deadlock() {
+        let err = bus(2)
+            .run(2, 2, |p| {
+                if p.pid() == 0 {
+                    p.spin_until(0, 1);
+                } else {
+                    p.futex_wait(1, 0);
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { waiting } => assert_eq!(waiting.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    fn oversub(nprocs: usize, cores: usize) -> Machine {
+        let mut params = MachineParams::bus_1991(nprocs);
+        params.sched = Some(crate::params::SchedParams::oversub_1991(cores));
+        params.max_cycles = 50_000_000;
+        Machine::new(params)
+    }
+
+    #[test]
+    fn oversubscribed_counter_is_atomic_and_pays_ctx_switches() {
+        let report = oversub(8, 2)
+            .run(8, 1, |p| {
+                for _ in 0..25 {
+                    p.fetch_add(0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[0], 200);
+        // All eight processors had to be placed on a core at least once.
+        for m in &report.metrics.per_proc {
+            assert!(m.ctx_switches >= 1);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_spin_polls_to_completion() {
+        // The signal crosses a spin wait even when threads outnumber cores
+        // and the spinner holds a core the signaller needs.
+        let report = oversub(3, 1)
+            .run(3, 2, |p| {
+                if p.pid() == 0 {
+                    p.spin_until(0, 2);
+                    p.store(1, 7);
+                } else {
+                    p.delay(500);
+                    p.fetch_add(0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.memory[1], 7);
+        // The spinner burned cycles polling, not sleeping on a watchpoint.
+        assert!(report.metrics.per_proc[0].spin_wait_cycles > 0);
+        assert_eq!(report.metrics.per_proc[0].wakeups, 0);
+    }
+
+    #[test]
+    fn oversubscribed_park_frees_the_core_and_run_is_deterministic() {
+        let go = || {
+            oversub(4, 1)
+                .run(4, 2, |p| {
+                    if p.pid() == 0 {
+                        p.delay(5_000);
+                        p.store(0, 1);
+                        p.futex_wake(0, usize::MAX);
+                    } else {
+                        let mut cur = p.load(0);
+                        while cur == 0 {
+                            cur = p.futex_wait(0, 0);
+                            if cur == 0 {
+                                cur = p.load(0);
+                            }
+                        }
+                        p.fetch_add(1, 1);
+                    }
+                })
+                .unwrap()
+        };
+        let a = go();
+        assert_eq!(a.memory[1], 3);
+        // With one core and three sleepers, the storer could only make
+        // progress because parked processors yield the core.
+        assert!(a.metrics.futex_parks() >= 1);
+        let b = go();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.memory, b.memory);
+    }
+
+    #[test]
+    fn oversubscribed_unsatisfiable_spin_hits_time_limit() {
+        // Under the scheduler, spinners poll instead of sleeping on a
+        // watchpoint, so an unsatisfiable spin burns simulated time until
+        // the limit instead of reporting a deadlock.
+        let mut params = MachineParams::bus_1991(2);
+        params.sched = Some(crate::params::SchedParams::oversub_1991(1));
+        params.max_cycles = 10_000;
+        let err = Machine::new(params)
+            .run(2, 1, |p| {
+                if p.pid() == 0 {
+                    p.spin_until(0, 1);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::TimeLimit { limit: 10_000 });
+    }
+
+    #[test]
     fn private_pool_reuses_workers_across_runs() {
         let pool = Pool::new();
         let machine = bus(4);

@@ -20,10 +20,17 @@ pub struct ProcMetrics {
     pub misses: u64,
     /// Writes that hit a Shared line and had to invalidate other copies.
     pub upgrades: u64,
-    /// Times this processor was woken from a `spin_while` watchpoint.
+    /// Times this processor was woken from a `spin_while` watchpoint or a
+    /// `futex_wait` park.
     pub wakeups: u64,
-    /// Cycles spent blocked inside `spin_while`.
+    /// Cycles spent blocked inside `spin_while` or parked in `futex_wait`.
     pub spin_wait_cycles: u64,
+    /// Times this processor parked in `futex_wait` (immediate returns on a
+    /// changed word do not count).
+    pub futex_parks: u64,
+    /// Times this processor was placed on a core by the oversubscription
+    /// scheduler; always 0 when [`crate::MachineParams::sched`] is `None`.
+    pub ctx_switches: u64,
     /// This processor's final local clock.
     pub finish_time: u64,
 }
@@ -85,9 +92,14 @@ impl Metrics {
         self.per_proc.iter().map(|p| p.misses).sum()
     }
 
-    /// Sum of watchpoint wakeups across processors.
+    /// Sum of watchpoint/futex wakeups across processors.
     pub fn wakeups(&self) -> u64 {
         self.per_proc.iter().map(|p| p.wakeups).sum()
+    }
+
+    /// Sum of futex parks across processors.
+    pub fn futex_parks(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.futex_parks).sum()
     }
 
     /// Global cache hit rate in `[0, 1]`; 0 when no accesses happened.

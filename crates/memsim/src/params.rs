@@ -23,6 +23,50 @@ pub enum Topology {
     },
 }
 
+/// Processor scheduler for oversubscribed runs (more simulated threads than
+/// cores). When [`MachineParams::sched`] is `Some`, the machine multiplexes
+/// its P logical processors onto `cores` execution slots with round-robin
+/// quanta, and the futex operations ([`crate::Proc::futex_wait`] /
+/// [`crate::Proc::futex_wake`]) interact with the scheduler: a parked
+/// processor yields its core immediately, and a wake re-enters it through the
+/// ready queue.
+///
+/// Spin waits change meaning under the scheduler: instead of sleeping on a
+/// zero-cost watchpoint, a spinning processor *polls* — it re-probes its word
+/// every `spin_poll_cycles` and keeps its core busy the whole time, so it can
+/// be preempted at quantum boundaries like any other processor. That is the
+/// behavior that makes pure spinning collapse past 1× threads/core (`fig9`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedParams {
+    /// Execution slots the logical processors are multiplexed onto.
+    pub cores: usize,
+    /// Cycles a processor may occupy a core before it can be preempted.
+    /// Preemption only happens when another processor is waiting for a core.
+    pub quantum: u64,
+    /// Cycles charged each time a processor is placed on a core.
+    pub ctx_switch_cycles: u64,
+    /// Cycles the waker pays per processor woken by a futex wake — the
+    /// modeled remote write into the wakee's parker state.
+    pub wake_cycles: u64,
+    /// Interval between spin-wait re-probes while busy-polling on a core.
+    pub spin_poll_cycles: u64,
+}
+
+impl SchedParams {
+    /// Scheduler costs consistent with the 1991-era machine ratios: a quantum
+    /// spans tens of bus transactions, a context switch costs a few of them,
+    /// and a wake costs about one remote write.
+    pub fn oversub_1991(cores: usize) -> Self {
+        SchedParams {
+            cores,
+            quantum: 400,
+            ctx_switch_cycles: 60,
+            wake_cycles: 30,
+            spin_poll_cycles: 20,
+        }
+    }
+}
+
 /// Full description of a simulated machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineParams {
@@ -53,6 +97,10 @@ pub struct MachineParams {
     pub rmw_extra_cycles: u64,
     /// Hard cap on simulated time; exceeded ⇒ [`crate::SimError::TimeLimit`].
     pub max_cycles: u64,
+    /// Oversubscription scheduler. `None` (the presets' default) gives every
+    /// logical processor its own core — the classic dedicated-processor
+    /// regime every pre-existing figure runs in.
+    pub sched: Option<SchedParams>,
 }
 
 impl MachineParams {
@@ -71,6 +119,7 @@ impl MachineParams {
             inv_cycles: 2,
             rmw_extra_cycles: 3,
             max_cycles: u64::MAX / 4,
+            sched: None,
         }
     }
 
@@ -90,6 +139,7 @@ impl MachineParams {
             inv_cycles: 4,
             rmw_extra_cycles: 3,
             max_cycles: u64::MAX / 4,
+            sched: None,
         }
     }
 
@@ -130,6 +180,24 @@ impl MachineParams {
         assert!(self.cache_lines > 0, "cache must have at least one line");
         if let Topology::Numa { nodes } = self.topology {
             assert!(nodes > 0, "NUMA machine needs at least one node");
+        }
+        if let Some(sched) = &self.sched {
+            assert!(sched.cores > 0, "scheduler needs at least one core");
+            assert!(sched.quantum > 0, "scheduler quantum must be nonzero");
+            assert!(sched.spin_poll_cycles > 0, "spin poll interval must be nonzero");
+        }
+    }
+
+    /// Flat cost charged per woken processor on a futex wake: the scheduler's
+    /// `wake_cycles` when configured, otherwise roughly one remote write on
+    /// the machine's interconnect.
+    pub fn wake_cycles(&self) -> u64 {
+        if let Some(sched) = &self.sched {
+            return sched.wake_cycles;
+        }
+        match self.topology {
+            Topology::Bus => self.bus_cycles + self.inv_cycles,
+            Topology::Numa { .. } => self.mem_cycles + 2 * self.hop_cycles,
         }
     }
 }
@@ -196,6 +264,23 @@ mod tests {
     fn bad_line_words_rejected() {
         let mut p = MachineParams::bus_1991(2);
         p.line_words = 3;
+        p.validate();
+    }
+
+    #[test]
+    fn sched_preset_validates_and_sets_wake_cost() {
+        let mut p = MachineParams::bus_1991(8);
+        assert_eq!(p.wake_cycles(), p.bus_cycles + p.inv_cycles);
+        p.sched = Some(SchedParams::oversub_1991(4));
+        p.validate();
+        assert_eq!(p.wake_cycles(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_scheduler_rejected() {
+        let mut p = MachineParams::bus_1991(2);
+        p.sched = Some(SchedParams { cores: 0, ..SchedParams::oversub_1991(1) });
         p.validate();
     }
 }

@@ -9,7 +9,7 @@
 //! idle pool costs nothing but address space.
 //!
 //! Jobs borrow the caller's stack (the simulated program closure and the
-//! engine live in `Machine::run`'s frame), which is why [`Lease::dispatch`]
+//! engine live in `Machine::run`'s frame), which is why `Lease::dispatch`
 //! is `unsafe`: the caller must not drop anything a job borrows — nor
 //! return the lease — until the job has signalled completion through its
 //! own channel (the machine uses a latch counted down as each job's last

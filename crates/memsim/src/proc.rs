@@ -9,7 +9,7 @@
 //!
 //! Blocking is an adaptive spin-then-park on the processor's reply slot:
 //! when the engine replies promptly (it often replies *inline*, before
-//! [`Proc::roundtrip`] even begins waiting) no scheduler interaction
+//! `Proc::roundtrip` even begins waiting) no scheduler interaction
 //! happens at all; otherwise the processor spins briefly — with a budget
 //! that grows when spinning succeeds and shrinks when it parks — and then
 //! parks until the driving thread unparks it. On a single-core host the
@@ -175,6 +175,23 @@ impl Proc {
     /// Blocks until the word equals `val`; returns it (i.e. `val`).
     pub fn spin_until(&mut self, addr: Addr, val: Word) -> Word {
         self.roundtrip(Op::Spin(addr, WaitPred::UntilEq(val)))
+    }
+
+    /// Futex wait: parks iff the word still equals `expected` — the check
+    /// and the park are one atomic step inside the engine, so a waker that
+    /// changes the word *then* wakes can never be missed. Returns the word's
+    /// value as observed either at the failed check or after the wake;
+    /// callers must re-check their condition (wakes may be consumed by an
+    /// earlier waiter, exactly as with an OS futex).
+    pub fn futex_wait(&mut self, addr: Addr, expected: Word) -> Word {
+        self.roundtrip(Op::FutexWait(addr, expected))
+    }
+
+    /// Wakes up to `n` processors parked on `addr` (FIFO park order) and
+    /// returns how many were woken. The waker is charged a modeled remote
+    /// write per wakee.
+    pub fn futex_wake(&mut self, addr: Addr, n: usize) -> usize {
+        self.roundtrip(Op::FutexWake(addr, n as u64)) as usize
     }
 
     /// Advances the local clock by `cycles` without touching memory —

@@ -1,0 +1,146 @@
+//! A sense-reversing barrier whose waiters park on the sense word.
+//!
+//! The classic construction: an arrival counter plus a global **sense**
+//! that flips each round. Every thread records the sense it saw on entry;
+//! the last arriver resets the counter, flips the sense, and wakes all
+//! parked waiters. Flipping *before* waking, combined with the futex's
+//! atomic compare-and-block against the entry sense, makes the lost wakeup
+//! impossible: a waiter that parks before the flip is covered by the wake,
+//! a waiter that reaches the futex after the flip fails the compare and
+//! never parks. No thread can re-enter the barrier and re-park on the new
+//! round before the flip, because only the flip releases the round.
+
+use crate::futex;
+use crate::AdaptiveSpin;
+use qsm::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A reusable blocking barrier for a fixed party of threads.
+pub struct BlockingBarrier {
+    parties: u64,
+    arrived: CachePadded<AtomicU64>,
+    sense: CachePadded<AtomicU64>,
+    spin: AdaptiveSpin,
+}
+
+impl BlockingBarrier {
+    /// A barrier for `parties` threads (must be nonzero).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        BlockingBarrier {
+            parties: parties as u64,
+            arrived: CachePadded::new(AtomicU64::new(0)),
+            sense: CachePadded::new(AtomicU64::new(0)),
+            spin: AdaptiveSpin::new(64, true),
+        }
+    }
+
+    /// Blocks until all parties have called `wait` for this round.
+    /// Returns `true` on exactly one thread per round (the last arriver),
+    /// mirroring `std::sync::Barrier`'s leader token.
+    pub fn wait(&self) -> bool {
+        let entry_sense = self.sense.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Reset the counter before releasing anyone: the released
+            // threads may re-enter immediately, and they observe this
+            // store through their acquire load of the flipped sense.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.sense.store(entry_sense ^ 1, Ordering::Release);
+            futex::futex_wake(&self.sense, usize::MAX);
+            return true;
+        }
+        let budget = self.spin.budget();
+        let mut probes = 0;
+        let mut parked = false;
+        while self.sense.load(Ordering::Acquire) == entry_sense {
+            if probes < budget {
+                probes += 1;
+                std::hint::spin_loop();
+            } else {
+                parked = true;
+                futex::futex_wait(&self.sense, entry_sense);
+            }
+        }
+        self.spin.record(parked);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let barrier = BlockingBarrier::new(1);
+        for _ in 0..10 {
+            assert!(barrier.wait());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        BlockingBarrier::new(0);
+    }
+
+    #[test]
+    fn rounds_separate_phases() {
+        // Each thread bumps a per-round cell between waits; if the barrier
+        // ever let a thread run ahead a round, a cell would be read before
+        // all its increments landed.
+        const THREADS: usize = 6;
+        const ROUNDS: usize = 25;
+        let barrier = Arc::new(BlockingBarrier::new(THREADS));
+        let cells: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ROUNDS).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let cells = Arc::clone(&cells);
+                thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        cells[round].fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        assert_eq!(
+                            cells[round].load(Ordering::SeqCst),
+                            THREADS,
+                            "crossed the barrier before the round completed"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 50;
+        let barrier = Arc::new(BlockingBarrier::new(THREADS));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), ROUNDS);
+    }
+}

@@ -1,0 +1,255 @@
+//! A word-sized futex over a bucketed parking lot.
+//!
+//! The primitive is the Linux futex restricted to what the blocking QSM
+//! variants need: [`futex_wait`] blocks iff an `AtomicU64` still holds an
+//! expected value, [`futex_wake`] releases up to `n` waiters of that word
+//! in FIFO order. There is no kernel to lean on here, so the wait queue is
+//! a process-global **parking lot**: a fixed array of buckets, each a
+//! mutex-protected FIFO of parked threads, indexed by a hash of the word's
+//! address. Any `AtomicU64` in the process is a futex — no per-word queue
+//! allocation, no registration.
+//!
+//! The lost-wakeup argument is the whole point of the design. The waiter
+//! re-checks the word *after* taking the bucket lock and enqueues while
+//! still holding it; the waker changes the word first and then takes the
+//! same bucket lock to wake. Whichever side wins the bucket lock, the
+//! other observes its effect: a waiter that enqueued first is found in the
+//! queue, a waiter that arrives second sees the changed word and never
+//! parks. `thread::park` itself may return spuriously, which is fine —
+//! [`futex_wait`] consumes parks in a loop gated on its own wake flag, and
+//! callers loop on their real condition as futex discipline requires.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::{self, Thread};
+
+/// Number of parking-lot buckets. Collisions are correctness-neutral (the
+/// queue entries carry the full address) and only contend the bucket lock,
+/// so a modest fixed count beats sizing to the thread population.
+const BUCKETS: usize = 64;
+
+/// One parked thread: the word it parked on, how to wake it, and the flag
+/// that distinguishes a real wake from a spurious `park` return.
+struct Waiter {
+    addr: usize,
+    thread: Thread,
+    woken: AtomicBool,
+}
+
+struct Bucket {
+    queue: Mutex<VecDeque<Arc<Waiter>>>,
+}
+
+fn lot() -> &'static [Bucket; BUCKETS] {
+    static LOT: OnceLock<[Bucket; BUCKETS]> = OnceLock::new();
+    LOT.get_or_init(|| {
+        std::array::from_fn(|_| Bucket {
+            queue: Mutex::new(VecDeque::new()),
+        })
+    })
+}
+
+/// Fibonacci-hashes a word address into its bucket.
+fn bucket_for(addr: usize) -> &'static Bucket {
+    let hash = (addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &lot()[(hash >> (64 - 7)) as usize % BUCKETS]
+}
+
+/// The parking-lot identity of a futex word: its address. Exposed so a
+/// waker whose last reference to the word may die under it (a queue-lock
+/// releaser whose successor frees its node on wake) can capture the
+/// identity while the word is still alive and wake by address afterwards.
+pub fn addr_of(word: &AtomicU64) -> usize {
+    word as *const AtomicU64 as usize
+}
+
+/// Blocks the calling thread iff `word` still holds `expected`, with the
+/// comparison and the enqueue performed atomically with respect to
+/// [`futex_wake`] on the same word. Returns `true` if the thread parked
+/// (and was later woken), `false` if the word had already changed.
+///
+/// A `true` return means *some* [`futex_wake`] covered this thread — not
+/// that the word changed. Callers must re-check their condition in a loop.
+pub fn futex_wait(word: &AtomicU64, expected: u64) -> bool {
+    let addr = addr_of(word);
+    let bucket = bucket_for(addr);
+    let waiter = {
+        let mut queue = bucket.queue.lock().unwrap();
+        // The decisive re-check: under the bucket lock, a waker that
+        // changed the word has either not yet locked this bucket (we see
+        // the new value here) or already drained it (we see the new value
+        // here too — the change precedes the wake).
+        if word.load(Ordering::SeqCst) != expected {
+            return false;
+        }
+        let waiter = Arc::new(Waiter {
+            addr,
+            thread: thread::current(),
+            woken: AtomicBool::new(false),
+        });
+        queue.push_back(Arc::clone(&waiter));
+        waiter
+    };
+    while !waiter.woken.load(Ordering::Acquire) {
+        thread::park();
+    }
+    true
+}
+
+/// Wakes up to `n` threads parked on `word`, oldest first, returning how
+/// many were woken. Callers that may race the death of the word itself
+/// should capture [`addr_of`] early and use [`futex_wake_addr`].
+pub fn futex_wake(word: &AtomicU64, n: usize) -> usize {
+    futex_wake_addr(addr_of(word), n)
+}
+
+/// [`futex_wake`] by pre-captured address. Never dereferences the word, so
+/// it remains sound after the word's storage has been freed; the worst a
+/// recycled address can cause is a spurious wake of a new word's waiter,
+/// which futex discipline already tolerates.
+pub fn futex_wake_addr(addr: usize, n: usize) -> usize {
+    let bucket = bucket_for(addr);
+    let mut woken = Vec::new();
+    {
+        let mut queue = bucket.queue.lock().unwrap();
+        let mut i = 0;
+        while i < queue.len() && woken.len() < n {
+            if queue[i].addr == addr {
+                woken.push(queue.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Unpark outside the bucket lock: an instantly-rescheduled wakee that
+    // immediately parks again must not find the lock still held.
+    for waiter in &woken {
+        waiter.woken.store(true, Ordering::Release);
+        waiter.thread.unpark();
+    }
+    woken.len()
+}
+
+/// How many threads are currently parked on `word` — a test observability
+/// hook, racy by nature.
+pub fn parked_count(word: &AtomicU64) -> usize {
+    let addr = addr_of(word);
+    let queue = bucket_for(addr).queue.lock().unwrap();
+    queue.iter().filter(|w| w.addr == addr).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_on_changed_word_returns_without_parking() {
+        let word = AtomicU64::new(7);
+        assert!(!futex_wait(&word, 3));
+        assert_eq!(parked_count(&word), 0);
+    }
+
+    #[test]
+    fn wake_with_no_waiters_is_zero() {
+        let word = AtomicU64::new(0);
+        assert_eq!(futex_wake(&word, usize::MAX), 0);
+    }
+
+    #[test]
+    fn park_and_wake_round_trip() {
+        let word = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let word = Arc::clone(&word);
+            thread::spawn(move || {
+                while word.load(Ordering::SeqCst) == 0 {
+                    futex_wait(&word, 0);
+                }
+                word.load(Ordering::SeqCst)
+            })
+        };
+        while parked_count(&word) == 0 {
+            thread::yield_now();
+        }
+        // Change first, wake second — the discipline every user follows.
+        word.store(42, Ordering::SeqCst);
+        assert_eq!(futex_wake(&word, 1), 1);
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    /// `futex_wake(word, n)` with m > n parked threads wakes exactly n; a
+    /// later wake collects the stragglers.
+    #[test]
+    fn wake_n_of_m_wakes_exactly_n() {
+        let word = Arc::new(AtomicU64::new(0));
+        let released = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..5)
+            .map(|_| {
+                let word = Arc::clone(&word);
+                let released = Arc::clone(&released);
+                thread::spawn(move || {
+                    while word.load(Ordering::SeqCst) == 0 {
+                        futex_wait(&word, 0);
+                    }
+                    released.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        while parked_count(&word) < 5 {
+            thread::yield_now();
+        }
+        // Wake 2 without changing the word: exactly those 2 re-check,
+        // still see 0, and park again.
+        assert_eq!(futex_wake(&word, 2), 2);
+        while parked_count(&word) < 5 {
+            thread::yield_now();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+        word.store(1, Ordering::SeqCst);
+        assert_eq!(futex_wake(&word, 3), 3);
+        // The remaining 2 are still parked until woken.
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(parked_count(&word), 2);
+        assert_eq!(futex_wake(&word, usize::MAX), 2);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), 5);
+    }
+
+    /// Two words that collide into the same bucket must not wake each
+    /// other's waiters: the queue entries carry the full address.
+    #[test]
+    fn colliding_words_are_independent() {
+        // Same bucket by construction: all our buckets come from one
+        // array, so just find two addresses that hash together.
+        let words: Vec<Arc<AtomicU64>> =
+            (0..256).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let target = bucket_for(addr_of(&words[0])) as *const Bucket;
+        let other = words[1..]
+            .iter()
+            .find(|w| std::ptr::eq(bucket_for(addr_of(w)) as *const Bucket, target))
+            .expect("256 words must produce a bucket collision")
+            .clone();
+        let word = Arc::clone(&words[0]);
+        let handle = {
+            let word = Arc::clone(&word);
+            thread::spawn(move || {
+                while word.load(Ordering::SeqCst) == 0 {
+                    futex_wait(&word, 0);
+                }
+            })
+        };
+        while parked_count(&word) == 0 {
+            thread::yield_now();
+        }
+        // Waking the colliding word must not disturb ours.
+        assert_eq!(futex_wake(&other, usize::MAX), 0);
+        assert_eq!(parked_count(&word), 1);
+        word.store(1, Ordering::SeqCst);
+        assert_eq!(futex_wake(&word, 1), 1);
+        handle.join().unwrap();
+    }
+}

@@ -12,12 +12,15 @@
 //! * [`barrierbench`] — barrier episode timing behind fig5/fig6.
 //! * [`sweeps`] — parameter sweeps assembling [`simcore::Series`] for each
 //!   figure.
+//! * [`oversub`] — the oversubscribed (threads > cores) spin-vs-block
+//!   comparison behind fig9 and table4, run on the scheduled simulator.
 //! * [`realhw`] — the real-hardware (std thread) harness behind fig8,
 //!   exercising the `qsm` crate rather than the simulator.
 
 pub mod barrierbench;
 pub mod csbench;
 pub mod fairness;
+pub mod oversub;
 pub mod realhw;
 pub mod rwbench;
 pub mod sweeps;

@@ -44,18 +44,44 @@ impl MachineKind {
     }
 }
 
-/// Host threads used by the sweep fan-out: `SYNCMECH_SWEEP_THREADS` if set
-/// (minimum 1), otherwise the host's available parallelism. On a single
-/// core this is 1 and [`parallel_cells`] degenerates to a plain loop.
+/// Host threads used by the sweep fan-out: `SYNCMECH_SWEEP_THREADS` if set,
+/// otherwise the host's available parallelism. On a single core this is 1
+/// and [`parallel_cells`] degenerates to a plain loop.
+///
+/// # Panics
+///
+/// If `SYNCMECH_SWEEP_THREADS` is set to anything other than a positive
+/// integer. A user who sets the variable meant to control the fan-out;
+/// silently falling back to host parallelism would make a typo look like a
+/// performance mystery.
 pub fn sweep_threads() -> usize {
-    if let Ok(v) = std::env::var("SYNCMECH_SWEEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    let var = std::env::var("SYNCMECH_SWEEP_THREADS").ok();
+    match sweep_threads_from(var.as_deref()) {
+        Ok(n) => n,
+        Err(msg) => panic!("{msg}"),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+}
+
+/// The policy behind [`sweep_threads`], with the environment lookup
+/// factored out for testability: `None` means the variable is unset.
+pub fn sweep_threads_from(var: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = var else {
+        return Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1));
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "SYNCMECH_SWEEP_THREADS=0: the sweep fan-out needs at least one host thread; \
+             set a positive count, or unset the variable to use the host's parallelism"
+            .to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "SYNCMECH_SWEEP_THREADS={raw:?} is not a positive integer; set a thread count \
+             like 4, or unset the variable to use the host's parallelism"
+        )),
+    }
 }
 
 /// Runs `cell(0..n)` across up to `threads` host threads and returns the
@@ -324,6 +350,26 @@ mod tests {
     fn backoff_ablation_produces_two_curves() {
         let s = backoff_ablation(MachineKind::Bus, 4, 4);
         assert_eq!(s.curve_names().len(), 2);
+    }
+
+    #[test]
+    fn sweep_threads_env_is_validated_strictly() {
+        // Unset: host parallelism, always at least one thread.
+        assert!(sweep_threads_from(None).unwrap() >= 1);
+        // Valid values parse, with surrounding whitespace tolerated.
+        assert_eq!(sweep_threads_from(Some("4")).unwrap(), 4);
+        assert_eq!(sweep_threads_from(Some(" 8 ")).unwrap(), 8);
+        // Zero and garbage are rejected with actionable messages, never
+        // silently replaced by a fallback.
+        let zero = sweep_threads_from(Some("0")).unwrap_err();
+        assert!(zero.contains("at least one host thread"), "got: {zero}");
+        for bad in ["", "four", "-2", "3.5"] {
+            let err = sweep_threads_from(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("not a positive integer"),
+                "{bad:?} got: {err}"
+            );
+        }
     }
 
     #[test]

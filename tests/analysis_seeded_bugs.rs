@@ -17,7 +17,11 @@
 //! * **bounded-bypass** — the test-and-set family must starve a waiter;
 //!   every FIFO lock in the registry must pass the same bound;
 //! * **sleep-set reduction** — must cut run counts at least 2× on the lock
-//!   suite while reaching the same (complete, passing) verdict.
+//!   suite while reaching the same (complete, passing) verdict;
+//! * **lost-wakeup detector** — a flag handshake that wakes *before*
+//!   publishing, and an eventcount whose advance forgets its wake, must
+//!   both surface as [`Verdict::LostWakeup`]; the corrected versions of
+//!   the same programs must pass exhaustively.
 
 use interleave::harness::{check_barrier, check_lock, check_lock_bypass};
 use interleave::{Explorer, Program, Verdict};
@@ -79,6 +83,104 @@ impl BarrierKernel for OffByOneBarrier {
         }
         st.round = next_epoch;
     }
+}
+
+/// Seeded bug #3: a flag handshake whose waker issues the futex wake
+/// *before* publishing the flag. The waiter can read the stale flag, the
+/// waker can fire its wake into an empty queue and then publish, and the
+/// waiter then parks on a compare that still succeeds — asleep forever
+/// with the flag already set. The `fixed` variant publishes first, which
+/// the waiter's compare-and-block makes airtight.
+fn flag_handshake_program(fixed: bool) -> Program {
+    Program::new(2, 1, move |ctx| {
+        if ctx.pid() == 0 {
+            let mut cur = ctx.load(0);
+            while cur == 0 {
+                cur = ctx.futex_wait(0, cur);
+            }
+        } else if fixed {
+            ctx.store(0, 1);
+            ctx.futex_wake(0, usize::MAX);
+        } else {
+            ctx.futex_wake(0, usize::MAX); // bug: wake into an empty queue...
+            ctx.store(0, 1); // ...then publish, too late for a parked waiter.
+        }
+    })
+}
+
+/// Seeded bug #4: a blocking eventcount whose `advance` increments the
+/// count but forgets the wake — the missed-advance bug. Waiters that
+/// parked on the old count have no spin fallback; only the wake the
+/// advancer never sends could release them.
+fn eventcount_advance_program(fixed: bool) -> Program {
+    Program::new(3, 1, move |ctx| {
+        if ctx.pid() < 2 {
+            // await_at_least(1)
+            loop {
+                let cur = ctx.load(0);
+                if cur >= 1 {
+                    break;
+                }
+                ctx.futex_wait(0, cur);
+            }
+        } else {
+            ctx.fetch_add(0, 1); // advance...
+            if fixed {
+                ctx.futex_wake(0, usize::MAX); // ...must wake every waiter.
+            }
+        }
+    })
+}
+
+#[test]
+fn lost_wakeup_detector_flags_wake_before_publish() {
+    let verdict = Explorer::exhaustive().check(&flag_handshake_program(false), |_| Ok(()));
+    match verdict {
+        Verdict::LostWakeup {
+            ref parked,
+            ref schedule,
+            ..
+        } => {
+            assert_eq!(parked.as_slice(), &[(0, 0)], "the waiter sleeps on word 0");
+            // The recorded schedule must replay to the same end state.
+            let replay = Explorer::exhaustive().replay(&flag_handshake_program(false), schedule);
+            assert!(
+                matches!(replay.end, interleave::ReplayEnd::LostWakeup(ref p) if p == parked),
+                "replay must reproduce the lost wakeup, got {:?}",
+                replay.end
+            );
+        }
+        ref other => panic!("wake-before-publish must lose a wakeup, got {other:?}"),
+    }
+}
+
+#[test]
+fn fixed_flag_handshake_passes_exhaustively() {
+    let verdict = Explorer::exhaustive().check(&flag_handshake_program(true), |_| Ok(()));
+    verdict.expect_pass("publish-then-wake handshake");
+    assert!(verdict.stats().complete, "search must be exhaustive");
+}
+
+#[test]
+fn lost_wakeup_detector_flags_missed_advance() {
+    let verdict = Explorer::exhaustive().check(&eventcount_advance_program(false), |_| Ok(()));
+    match verdict {
+        Verdict::LostWakeup { ref parked, .. } => {
+            assert!(!parked.is_empty());
+            for &(pid, addr) in parked {
+                assert!(pid < 2, "only awaiters can be stranded, got thread {pid}");
+                assert_eq!(addr, 0, "awaiters sleep on the count word");
+            }
+        }
+        ref other => panic!("wakeless advance must strand its waiters, got {other:?}"),
+    }
+}
+
+#[test]
+fn fixed_eventcount_advance_passes_exhaustively() {
+    let verdict = Explorer::exhaustive().check(&eventcount_advance_program(true), |_| Ok(()));
+    verdict.expect_pass("advance with wake-all");
+    assert!(verdict.stats().complete, "search must be exhaustive");
 }
 
 #[test]

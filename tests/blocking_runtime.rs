@@ -1,0 +1,118 @@
+//! Integration tests for the real-hardware blocking runtime (`parking`):
+//! the word-sized futex, the blocking eventcount, and the blocking QSM
+//! mutex, exercised with real host threads.
+//!
+//! These are the hardware counterparts of the interleave-model futex tests
+//! (`crates/interleave` and `tests/analysis_seeded_bugs.rs`): the model
+//! proves the discipline has no lost-wakeup window under every schedule,
+//! and these tests check that the `std::thread`-backed implementation
+//! honours the same contract under a real scheduler.
+
+use parking::futex::{futex_wait, futex_wake, parked_count};
+use parking::{EventcountBlocking, QsmMutexBlocking};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Spins (with sleeps) until `cond` holds or a generous deadline passes —
+/// real-thread tests can't assert on instantaneous scheduler behavior.
+fn eventually(cond: impl Fn() -> bool, what: &str) {
+    for _ in 0..2_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn futex_wake_n_of_m_wakes_exactly_n() {
+    const M: usize = 6;
+    const N: usize = 2;
+    let word = Arc::new(AtomicU64::new(0));
+    let released = Arc::new(AtomicU64::new(0));
+
+    let waiters: Vec<_> = (0..M)
+        .map(|_| {
+            let word = Arc::clone(&word);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                // Futex discipline: re-check the word after every return;
+                // only a published word change ends the wait.
+                while word.load(Ordering::SeqCst) == 0 {
+                    futex_wait(&word, 0);
+                }
+                released.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+
+    eventually(|| parked_count(&word) == M, "all waiters parked");
+
+    // Waking N without changing the word releases nobody for good: the
+    // woken threads re-check, see 0, and park again.
+    let woken = futex_wake(&word, N);
+    assert!(woken <= N, "woke {woken} > requested {N}");
+    eventually(|| parked_count(&word) == M, "spuriously woken waiters re-parked");
+    assert_eq!(released.load(Ordering::SeqCst), 0);
+
+    // Publish the change, then wake exactly N: exactly N get out.
+    word.store(1, Ordering::SeqCst);
+    assert_eq!(futex_wake(&word, N), N);
+    eventually(
+        || released.load(Ordering::SeqCst) == N as u64,
+        "exactly n waiters released",
+    );
+    assert_eq!(parked_count(&word), M - N, "the rest must still be parked");
+
+    // Wake the remainder; everyone finishes.
+    assert_eq!(futex_wake(&word, usize::MAX), M - N);
+    for w in waiters {
+        w.join().unwrap();
+    }
+    assert_eq!(released.load(Ordering::SeqCst), M as u64);
+    assert_eq!(parked_count(&word), 0);
+}
+
+#[test]
+fn eventcount_advance_and_await_survive_wraparound() {
+    // Start two ticks below wraparound so the watched sequence crosses
+    // u64::MAX -> 0 while a waiter is parked on the far side.
+    let ec = Arc::new(EventcountBlocking::with_initial(u64::MAX - 1));
+    let waiter = {
+        let ec = Arc::clone(&ec);
+        std::thread::spawn(move || ec.await_at_least(1))
+    };
+    // Three advances: MAX-1 -> MAX -> 0 -> 1. The signed-distance compare
+    // must treat 1 as "at or past" the target despite 1 < u64::MAX - 1.
+    assert_eq!(ec.advance(), u64::MAX);
+    assert_eq!(ec.advance(), 0);
+    assert_eq!(ec.advance(), 1);
+    assert_eq!(waiter.join().unwrap(), 1);
+}
+
+#[test]
+fn blocking_mutex_counts_correctly_oversubscribed() {
+    // More threads than host cores: the configuration the park path is
+    // for. A lost wakeup here shows up as a hang (caught by test timeout).
+    let threads = 2 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let iters = 300;
+    let mutex = Arc::new(qsm::Mutex::with_raw(QsmMutexBlocking::spin_then_park(), 0u64));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let mutex = Arc::clone(&mutex);
+            std::thread::spawn(move || {
+                for _ in 0..iters {
+                    let mut g = mutex.lock();
+                    let v = *g; // non-atomic read-modify-write: only mutual
+                    *g = v + 1; // exclusion keeps the count exact.
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*mutex.lock(), (threads * iters) as u64);
+}
