@@ -10,14 +10,19 @@
 //! interleave check lock:tas --threads 2 --iters 3 --preemptions 2 --bypass-bound 1
 //! interleave check barrier:central --threads 2 --episodes 1
 //! interleave replay lock:mcs --schedule 0,0,1,1,0,0 --threads 2 --iters 1
+//! interleave fuzz lock:qsm-block --threads 3 --seed 1991 --iters 500 --strategy pct --shrink
 //! ```
 //!
 //! `check` exits 1 when a violation is found (printing the reproducing
 //! schedule and the matching `replay` invocation); `replay` exits 1 when
 //! the re-execution ends in a violation, so both compose with shell `&&`.
+//! `fuzz` samples random schedules instead of searching: same exit
+//! convention, and every failure prints the seed, strategy and a
+//! ready-to-paste `replay` line (shrunk when `--shrink` is given).
 
+use interleave::fuzz::{self, Fuzzer, Strategy};
 use interleave::harness::{barrier_program, check_barrier, check_lock, check_lock_bypass};
-use interleave::harness::lock_program;
+use interleave::harness::{fuzz_barrier, fuzz_lock, lock_program};
 use interleave::{Explorer, Program, Stats, Verdict};
 use kernels::barriers::{all_barriers, barrier_by_name};
 use kernels::lockdep::InstrumentedLock;
@@ -31,16 +36,24 @@ fn usage() -> ! {
   interleave list
   interleave check  <lock:NAME|barrier:NAME> [options]
   interleave replay <lock:NAME|barrier:NAME> --schedule N,N,... [options]
+  interleave fuzz   <lock:NAME|barrier:NAME> [options]
 
 options:
   --threads N       thread count (default 2)
-  --iters N         critical sections per thread, locks (default 1)
+  --iters N         check/replay: critical sections per thread (default 1)
+                    fuzz: schedules to sample (default: SYNCMECH_FUZZ_ITERS or 1000)
   --episodes N      barrier episodes per thread (default 1)
   --preemptions K   preemption bound (default: exhaustive)
   --max-steps N     per-run step limit
   --max-runs N      run budget
   --bypass-bound K  fail schedules that bypass a waiter more than K times
-  --no-reduction    disable sleep-set partial-order reduction"
+  --no-reduction    disable sleep-set partial-order reduction
+
+fuzz options:
+  --seed N          campaign seed (default: SYNCMECH_FUZZ_SEED or 1991)
+  --strategy S      uniform | pct | pct:<d> (default pct:3)
+  --shrink          minimize the failing schedule before reporting
+  --cs N            critical sections per thread in the fuzzed workload (default 1)"
     );
     std::process::exit(2);
 }
@@ -56,6 +69,9 @@ struct Args {
     target: Option<Target>,
     threads: usize,
     iters: usize,
+    /// Whether `--iters` was given explicitly (fuzz reads it as the
+    /// sampling budget, whose default comes from the environment).
+    iters_flag: Option<usize>,
     episodes: u64,
     preemptions: Option<usize>,
     max_steps: Option<usize>,
@@ -63,6 +79,11 @@ struct Args {
     bypass_bound: Option<usize>,
     no_reduction: bool,
     schedule: Option<Vec<usize>>,
+    seed: Option<u64>,
+    strategy: Option<Strategy>,
+    shrink: bool,
+    /// Critical sections per thread in the fuzzed lock workload.
+    cs: usize,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +94,7 @@ fn parse_args() -> Args {
         target: None,
         threads: 2,
         iters: 1,
+        iters_flag: None,
         episodes: 1,
         preemptions: None,
         max_steps: None,
@@ -80,6 +102,10 @@ fn parse_args() -> Args {
         bypass_bound: None,
         no_reduction: false,
         schedule: None,
+        seed: None,
+        strategy: None,
+        shrink: false,
+        cs: 1,
     };
     fn num<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
         let v = it.next().unwrap_or_else(|| {
@@ -94,8 +120,24 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threads" => args.threads = num(&mut it, "--threads"),
-            "--iters" => args.iters = num(&mut it, "--iters"),
+            "--iters" => {
+                args.iters = num(&mut it, "--iters");
+                args.iters_flag = Some(args.iters);
+            }
             "--episodes" => args.episodes = num(&mut it, "--episodes"),
+            "--seed" => args.seed = Some(num(&mut it, "--seed")),
+            "--strategy" => {
+                let spec: String = num(&mut it, "--strategy");
+                match Strategy::parse(&spec) {
+                    Ok(s) => args.strategy = Some(s),
+                    Err(msg) => {
+                        eprintln!("--strategy: {msg}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--shrink" => args.shrink = true,
+            "--cs" => args.cs = num(&mut it, "--cs"),
             "--preemptions" => args.preemptions = Some(num(&mut it, "--preemptions")),
             "--max-steps" => args.max_steps = Some(num(&mut it, "--max-steps")),
             "--max-runs" => args.max_runs = Some(num(&mut it, "--max-runs")),
@@ -291,6 +333,106 @@ fn run_replay(args: &Args) -> ExitCode {
     }
 }
 
+fn run_fuzz(args: &Args) -> ExitCode {
+    let seed = args.seed.unwrap_or_else(fuzz::fuzz_seed);
+    let iters = args.iters_flag.unwrap_or_else(fuzz::fuzz_iters);
+    let strategy = args.strategy.unwrap_or_default();
+    let mut fuzzer = Fuzzer::new(seed, iters, strategy);
+    if !args.shrink {
+        fuzzer = fuzzer.without_shrink();
+    }
+    if let Some(k) = args.bypass_bound {
+        fuzzer = fuzzer.with_bypass_bound(k);
+    }
+    if let Some(s) = args.max_steps {
+        fuzzer = fuzzer.with_max_steps(s);
+    }
+
+    let (report, target_spec, extent) = match args.target.as_ref().unwrap_or_else(|| usage()) {
+        Target::Lock(name) => {
+            let lock: Arc<_> = lock_by_name(name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown lock {name:?}; see `interleave list`");
+                    std::process::exit(2);
+                })
+                .into();
+            (
+                fuzz_lock(lock, args.threads, args.cs, &fuzzer),
+                format!("lock:{name}"),
+                format!("--iters {}", args.cs),
+            )
+        }
+        Target::Barrier(name) => {
+            let barrier: Arc<_> = barrier_by_name(name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown barrier {name:?}; see `interleave list`");
+                    std::process::exit(2);
+                })
+                .into();
+            (
+                fuzz_barrier(barrier, args.threads, args.episodes, &fuzzer),
+                format!("barrier:{name}"),
+                format!("--episodes {}", args.episodes),
+            )
+        }
+    };
+
+    println!(
+        "fuzz {target_spec}: seed {seed}, strategy {strategy}, budget {iters} schedules"
+    );
+    render_stats(report.verdict.stats());
+    let failure = match &report.verdict {
+        Verdict::Passed(s) => {
+            println!("PASS: no violation in {} sampled schedules", s.runs);
+            return ExitCode::SUCCESS;
+        }
+        Verdict::Deadlock { blocked, .. } => {
+            format!("deadlock; blocked (thread, word): {blocked:?}")
+        }
+        Verdict::LostWakeup { parked, .. } => {
+            format!("lost wakeup; parked (thread, word): {parked:?}")
+        }
+        Verdict::Violation { message, .. } => message.clone(),
+        Verdict::Race { report, .. } => format!("{report}"),
+        Verdict::Starvation { report, .. } => format!("{report}"),
+    };
+    let iter = report.failing_iter.unwrap_or(0);
+    println!("FAIL at iteration {iter}: {failure}");
+    println!("repro: --seed {seed} --strategy {strategy}");
+    let mut extent = extent;
+    if let Some(k) = args.bypass_bound {
+        extent.push_str(&format!(" --bypass-bound {k}"));
+    }
+    let render = |schedule: &[usize]| {
+        schedule
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let schedule = report.verdict.schedule().unwrap_or(&[]);
+    println!("schedule: {}", render(schedule));
+    if let Some(shrunk) = &report.shrunk {
+        println!(
+            "shrunk schedule ({} replays): {}",
+            shrunk.replays,
+            render(&shrunk.schedule)
+        );
+        println!(
+            "replay with: interleave replay {target_spec} --threads {} {extent} --schedule {}",
+            args.threads,
+            render(&shrunk.schedule)
+        );
+    } else {
+        println!(
+            "replay with: interleave replay {target_spec} --threads {} {extent} --schedule {}",
+            args.threads,
+            render(schedule)
+        );
+    }
+    ExitCode::FAILURE
+}
+
 fn run_list() -> ExitCode {
     println!("locks:");
     for lock in all_locks() {
@@ -309,6 +451,7 @@ fn main() -> ExitCode {
         "list" => run_list(),
         "check" => run_check(&args),
         "replay" => run_replay(&args),
+        "fuzz" => run_fuzz(&args),
         _ => usage(),
     }
 }

@@ -163,7 +163,7 @@ impl Verdict {
 
 /// One scheduling decision in a trace, with the alternatives that existed.
 #[derive(Debug, Clone)]
-struct Frame {
+pub(crate) struct Frame {
     /// Branchable choices at this point: enabled threads not in the sleep
     /// set (all enabled threads when reduction is off), in id order.
     eligible: Vec<usize>,
@@ -197,7 +197,7 @@ impl Frame {
 
 /// How one execution ended.
 #[derive(Debug)]
-enum RunEnd {
+pub(crate) enum RunEnd {
     Complete(Vec<Word>),
     Pruned,
     /// Every enabled thread was asleep: all continuations are reorderings
@@ -216,11 +216,38 @@ enum RunEnd {
 }
 
 /// Outcome of one execution: the trace of decisions plus the ending.
-struct RunOutcome {
-    trace: Vec<Frame>,
-    end: RunEnd,
+pub(crate) struct RunOutcome {
+    pub(crate) trace: Vec<Frame>,
+    pub(crate) end: RunEnd,
     /// Per-step op log (only when requested, i.e. during replay).
-    ops: Vec<OpRecord>,
+    pub(crate) ops: Vec<OpRecord>,
+}
+
+impl RunOutcome {
+    /// The thread choice taken at each step, in order.
+    pub(crate) fn schedule(&self) -> Vec<usize> {
+        self.trace.iter().map(|f| f.chosen).collect()
+    }
+}
+
+/// An external schedule chooser, called as `(step, eligible, prev) -> chosen`.
+pub(crate) type ExternalChooser<'a> = &'a mut dyn FnMut(usize, &[usize], Option<usize>) -> usize;
+
+/// How one execution picks the next thread; see [`Explorer::execute_with`].
+pub(crate) enum Policy<'a> {
+    /// Follow a decision prefix (choice plus fully-explored sibling mask
+    /// per step), then the default policy (stay on the previous thread,
+    /// else lowest id). Sleep-set reduction applies when enabled.
+    Dfs {
+        /// `(chosen, done_mask)` per already-decided step.
+        prefix: &'a [(usize, u64)],
+    },
+    /// Delegate every decision to an external chooser called as
+    /// `(step, eligible, prev) -> chosen`. Sleep-set reduction is ignored:
+    /// a sampler must see the full enabled set, and the sleep-set
+    /// soundness argument (sibling branches cover the reorderings) does
+    /// not hold for a random walk that never explores siblings.
+    External(ExternalChooser<'a>),
 }
 
 /// How a replayed schedule ended; see [`Explorer::replay`].
@@ -529,6 +556,21 @@ impl Explorer {
     /// policy (continue the previous thread when eligible, else the
     /// lowest-id eligible thread).
     fn execute(&self, program: &Program, prefix: &[(usize, u64)], record_ops: bool) -> RunOutcome {
+        self.execute_with(program, Policy::Dfs { prefix }, record_ops)
+    }
+
+    /// One execution under an arbitrary scheduling policy. This is the
+    /// single scheduler loop every mode shares: DFS exploration and replay
+    /// run it with [`Policy::Dfs`], the random fuzzer ([`crate::fuzz`])
+    /// with [`Policy::External`] — so park/unpark semantics, the race
+    /// detector, lockdep, and bypass accounting behave identically under
+    /// exhaustive search and random sampling.
+    pub(crate) fn execute_with(
+        &self,
+        program: &Program,
+        mut policy: Policy<'_>,
+        record_ops: bool,
+    ) -> RunOutcome {
         let cfg = RunCfg {
             bypass_bound: self.bypass_bound,
             lockdep: program.lockdep.clone(),
@@ -540,6 +582,7 @@ impl Explorer {
         // here is covered by an already-explored sibling branch. Replayed
         // deterministically from the prefix's done-masks.
         let mut sleep: u64 = 0;
+        let reduction = self.reduction && matches!(policy, Policy::Dfs { .. });
 
         let end = std::thread::scope(|scope| {
             for pid in 0..program.nthreads {
@@ -619,7 +662,7 @@ impl Explorer {
                     break RunEnd::Pruned;
                 }
 
-                let eligible: Vec<usize> = if self.reduction {
+                let eligible: Vec<usize> = if reduction {
                     enabled
                         .iter()
                         .copied()
@@ -640,31 +683,48 @@ impl Explorer {
                 let step = trace.len();
                 let prev = trace.last().map(|f: &Frame| f.chosen);
                 let preempts_before = trace.last().map(|f| f.preempts_after()).unwrap_or(0);
-                let chosen = if step < prefix.len() {
-                    let choice = prefix[step].0;
-                    if !eligible.contains(&choice) {
-                        // Granting an ineligible thread would wedge the
-                        // run: nobody consumes the grant, the scheduler
-                        // waits forever. Only caller-supplied replay
-                        // schedules can get here.
-                        g.aborted = true;
-                        rs.cv.notify_all();
-                        break RunEnd::Diverged { step, choice };
+                let (chosen, done) = match &mut policy {
+                    Policy::Dfs { prefix } => {
+                        let chosen = if step < prefix.len() {
+                            let choice = prefix[step].0;
+                            if !eligible.contains(&choice) {
+                                // Granting an ineligible thread would wedge
+                                // the run: nobody consumes the grant, the
+                                // scheduler waits forever. Only caller-
+                                // supplied replay schedules can get here.
+                                g.aborted = true;
+                                rs.cv.notify_all();
+                                break RunEnd::Diverged { step, choice };
+                            }
+                            choice
+                        } else {
+                            // Default: stay on the same thread (zero
+                            // preemptions).
+                            match prev {
+                                Some(p) if eligible.contains(&p) => p,
+                                _ => eligible[0],
+                            }
+                        };
+                        let done = if step < prefix.len() { prefix[step].1 } else { 0 };
+                        (chosen, done)
                     }
-                    choice
-                } else {
-                    // Default: stay on the same thread (zero preemptions).
-                    match prev {
-                        Some(p) if eligible.contains(&p) => p,
-                        _ => eligible[0],
+                    Policy::External(choose) => {
+                        let choice = choose(step, &eligible, prev);
+                        if !eligible.contains(&choice) {
+                            // A chooser bug must not wedge the run; surface
+                            // it the same way a bad replay schedule would.
+                            g.aborted = true;
+                            rs.cv.notify_all();
+                            break RunEnd::Diverged { step, choice };
+                        }
+                        (choice, 0)
                     }
                 };
 
-                if self.reduction {
+                if reduction {
                     // Sleep-set transition: siblings fully explored at
                     // this decision go to sleep; anything whose pending op
                     // is dependent on the chosen op wakes up.
-                    let done = if step < prefix.len() { prefix[step].1 } else { 0 };
                     let mut next = (sleep | done) & !(1u64 << chosen);
                     match g.pending[chosen] {
                         Some(chosen_op) => {
@@ -1116,6 +1176,42 @@ mod tests {
             .count();
         assert_eq!(adds, 2);
         assert!(replay.render().contains("futex-wake"));
+    }
+
+    #[test]
+    fn parked_thread_at_preemption_bound_zero_is_lost_wakeup() {
+        // Bound 0 forbids preempting a *runnable* thread, but switching
+        // away from a thread that just parked is not a preemption (it is
+        // no longer eligible). The pure-park hang must therefore still be
+        // reachable — and classified as a lost wakeup, not a deadlock.
+        let missing_wake = || {
+            Program::new(2, 1, |ctx| {
+                if ctx.pid() == 0 {
+                    let mut cur = ctx.load(0);
+                    while cur == 0 {
+                        cur = ctx.futex_wait(0, 0);
+                    }
+                } else {
+                    ctx.store(0, 1); // no wake
+                }
+            })
+        };
+        let verdict = Explorer::bounded(0).check(&missing_wake(), |_| Ok(()));
+        match verdict {
+            Verdict::LostWakeup { ref parked, .. } => {
+                assert_eq!(parked, &vec![(0usize, 0usize)]);
+            }
+            other => panic!("bound 0 must see the park hang as lost wakeup, got {other:?}"),
+        }
+        // Bypass-bound interaction: with_bypass_bound forces reduction off;
+        // the classification must not change.
+        let verdict = Explorer::bounded(0)
+            .with_bypass_bound(1)
+            .check(&missing_wake(), |_| Ok(()));
+        assert!(
+            matches!(verdict, Verdict::LostWakeup { .. }),
+            "bypass-bound run misclassified the park hang: {verdict:?}"
+        );
     }
 
     #[test]

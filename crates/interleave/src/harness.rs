@@ -22,6 +22,7 @@
 //!   explored schedule exhibits it.
 
 use crate::explorer::{Explorer, Verdict};
+use crate::fuzz::{FuzzReport, Fuzzer};
 use crate::program::Program;
 use kernels::barriers::BarrierKernel;
 use kernels::lockdep::InstrumentedLock;
@@ -143,6 +144,48 @@ pub fn check_lock_with_lockdep(
             ))
         }
     })
+}
+
+/// Fuzzes a lock's mutual exclusion under random schedules: the same
+/// program and final-state invariant as [`check_lock`], sampled by the
+/// fuzzer instead of searched. When the fuzzer carries a bypass bound the
+/// lock is instrumented, mirroring [`check_lock_bypass`].
+pub fn fuzz_lock(
+    lock: Arc<dyn LockKernel + Send + Sync>,
+    nthreads: usize,
+    iters: usize,
+    fuzzer: &Fuzzer,
+) -> FuzzReport {
+    let lock = if fuzzer.bypass_bound.is_some() {
+        Arc::new(InstrumentedLock::new(lock, 0)) as Arc<dyn LockKernel + Send + Sync>
+    } else {
+        lock
+    };
+    let expected = (nthreads * iters) as u64;
+    let program = lock_program(lock, nthreads, iters);
+    let counter = program.initial_memory().len() - 1;
+    fuzzer.run(&program, move |mem| {
+        if mem[counter] == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "critical sections lost: counter {} != {expected}",
+                mem[counter]
+            ))
+        }
+    })
+}
+
+/// Fuzzes a barrier's safety under random schedules: the same program as
+/// [`check_barrier`], sampled by the fuzzer instead of searched.
+pub fn fuzz_barrier(
+    barrier: Arc<dyn BarrierKernel + Send + Sync>,
+    nthreads: usize,
+    episodes: u64,
+    fuzzer: &Fuzzer,
+) -> FuzzReport {
+    let program = barrier_program(barrier, nthreads, episodes);
+    fuzzer.run(&program, |_| Ok(()))
 }
 
 /// Builds the barrier-safety program: each thread stamps its arrival count,
@@ -355,6 +398,57 @@ mod tests {
         let explorer = Explorer::bounded(2).with_max_runs(8000);
         check_lock_bypass(Arc::new(TicketLock), 2, 2, 1, explorer)
             .expect_pass("ticket bounded bypass");
+    }
+
+    #[test]
+    fn fuzzed_qsm_lock_passes_its_budget() {
+        let fuzzer = crate::fuzz::Fuzzer::new(11, 60, crate::fuzz::Strategy::default());
+        fuzz_lock(Arc::new(QsmLock), 2, 1, &fuzzer).expect_pass("fuzzed qsm 2x1");
+    }
+
+    #[test]
+    fn fuzzed_central_barrier_passes_its_budget() {
+        let fuzzer = crate::fuzz::Fuzzer::new(13, 40, crate::fuzz::Strategy::default());
+        fuzz_barrier(Arc::new(CentralBarrier), 2, 1, &fuzzer).expect_pass("fuzzed central 2x1");
+    }
+
+    #[test]
+    fn fuzz_harness_detects_a_broken_lock() {
+        // Same broken lock as the exhaustive harness test: "acquire" is a
+        // plain store, so the race detector must fire under sampling too,
+        // and the shrunk schedule must replay to the same race.
+        #[derive(Debug)]
+        struct BrokenLock;
+        impl kernels::locks::LockKernel for BrokenLock {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn lines_needed(&self, _p: usize) -> usize {
+                1
+            }
+            fn acquire(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64) -> u64 {
+                ctx.store(region.slot(0), 1);
+                0
+            }
+            fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64, _t: u64) {
+                ctx.store(region.slot(0), 0);
+            }
+        }
+        let fuzzer = crate::fuzz::Fuzzer::new(17, 200, crate::fuzz::Strategy::default());
+        let report = fuzz_lock(Arc::new(BrokenLock), 2, 1, &fuzzer);
+        assert!(
+            matches!(report.verdict, Verdict::Race { .. }),
+            "fuzzing must catch the broken lock as a race, got {:?}",
+            report.verdict
+        );
+        let shrunk = report.shrunk.expect("shrinking is on by default");
+        let program = lock_program(Arc::new(BrokenLock), 2, 1);
+        let replay = fuzzer.explorer().replay(&program, &shrunk.schedule);
+        assert!(
+            matches!(replay.end, crate::explorer::ReplayEnd::Race(_)),
+            "shrunk schedule must still race, got {:?}",
+            replay.end
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! (Godefroid) prunes schedules that merely reorder independent steps of
 //! one already explored — typically a 3–65× run reduction on the lock
 //! suite at identical coverage ([`Stats::sleep_pruned`] counts the cuts).
+//! Where even bounded search stops scaling, the [`fuzz`] module *samples*
+//! instead: seeded uniform-random and PCT schedules ([`Fuzzer`]) through
+//! the same scheduler loop, with greedy schedule shrinking
+//! ([`fuzz::shrink_schedule`]) so a fuzz failure debugs like an
+//! exhaustive one.
 //!
 //! On top of exploration sits an **analysis layer**:
 //!
@@ -69,10 +74,12 @@
 //! ```
 
 pub mod explorer;
+pub mod fuzz;
 pub mod harness;
 pub mod program;
 pub mod race;
 
 pub use explorer::{Explorer, Replay, ReplayEnd, Stats, Verdict};
+pub use fuzz::{FuzzReport, Fuzzer, Shrunk, Strategy};
 pub use program::{ChkCtx, OpKind, OpRecord, Program, StarvationReport};
 pub use race::{AccessSite, Epoch, RaceReport, VectorClock};

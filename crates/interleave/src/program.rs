@@ -716,7 +716,10 @@ impl Program {
         self.nthreads
     }
 
-    pub(crate) fn initial_memory(&self) -> Vec<Word> {
+    /// The memory image a run starts from: `memory_words` zeroed words
+    /// with the [`Program::with_init`] values applied. Harnesses use its
+    /// length to locate trailing workload slots (e.g. the counter).
+    pub fn initial_memory(&self) -> Vec<Word> {
         let mut m = vec![0; self.memory_words];
         for &(a, v) in &self.init {
             m[a] = v;

@@ -112,9 +112,24 @@ pub fn all_locks() -> Vec<Box<dyn LockKernel + Send + Sync>> {
     ]
 }
 
-/// Looks a lock up by its [`LockKernel::name`].
+/// The blocking QSM variants, which sit outside [`all_locks`] because the
+/// spin-lock figures would mislabel them: they answer the spin-vs-block
+/// question (fig9/table4 and the differential/fuzz harnesses), not the
+/// spin-vs-spin one.
+pub fn blocking_locks() -> Vec<Box<dyn LockKernel + Send + Sync>> {
+    vec![
+        Box::new(qsm_blocking::QsmBlockingLock::spin_then_park()),
+        Box::new(qsm_blocking::QsmBlockingLock::always_park()),
+    ]
+}
+
+/// Looks a lock up by its [`LockKernel::name`], searching the spin-lock
+/// study first and the blocking variants second.
 pub fn lock_by_name(name: &str) -> Option<Box<dyn LockKernel + Send + Sync>> {
-    all_locks().into_iter().find(|l| l.name() == name)
+    all_locks()
+        .into_iter()
+        .chain(blocking_locks())
+        .find(|l| l.name() == name)
 }
 
 /// Shared-memory plan for one lock trial: the lock's region plus a scratch
@@ -211,11 +226,22 @@ mod tests {
 
     #[test]
     fn lock_by_name_round_trips() {
-        for lock in all_locks() {
+        for lock in all_locks().into_iter().chain(blocking_locks()) {
             let found = lock_by_name(lock.name()).expect("name must resolve");
             assert_eq!(found.name(), lock.name());
         }
         assert!(lock_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn blocking_registry_resolves_but_stays_out_of_the_study() {
+        let names: Vec<&str> = blocking_locks().iter().map(|l| l.name()).collect();
+        assert_eq!(names, vec!["qsm-block", "qsm-block-park"]);
+        let study: Vec<&str> = all_locks().iter().map(|l| l.name()).collect();
+        for name in names {
+            assert!(!study.contains(&name), "{name} leaked into all_locks");
+            assert!(lock_by_name(name).is_some(), "{name} must resolve by name");
+        }
     }
 
     #[test]

@@ -631,6 +631,7 @@ impl EngineCore {
                 for wpid in pids.iter() {
                     if woken < n {
                         woken += 1;
+                        self.metrics.per_proc[pid].futex_woken += 1;
                         // The waker pays a modeled remote write into each
                         // wakee's parker state, serialized per wakee.
                         t += wake_cost;

@@ -28,6 +28,10 @@ pub struct ProcMetrics {
     /// Times this processor parked in `futex_wait` (immediate returns on a
     /// changed word do not count).
     pub futex_parks: u64,
+    /// Parked waiters this processor's `futex_wake` calls dequeued — the
+    /// waker-side mirror of [`ProcMetrics::futex_parks`]: on a run that
+    /// completes, the machine-wide totals must balance.
+    pub futex_woken: u64,
     /// Times this processor was placed on a core by the oversubscription
     /// scheduler; always 0 when [`crate::MachineParams::sched`] is `None`.
     pub ctx_switches: u64,
@@ -100,6 +104,13 @@ impl Metrics {
     /// Sum of futex parks across processors.
     pub fn futex_parks(&self) -> u64 {
         self.per_proc.iter().map(|p| p.futex_parks).sum()
+    }
+
+    /// Sum of waiters dequeued by `futex_wake` across processors. Equals
+    /// [`Metrics::futex_parks`] on any run that completed (every parked
+    /// processor must have been woken for the run to finish).
+    pub fn futex_woken(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.futex_woken).sum()
     }
 
     /// Global cache hit rate in `[0, 1]`; 0 when no accesses happened.

@@ -1,0 +1,156 @@
+//! Loom checking of the blocking primitives' fast paths.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p parking --release --test loom
+//! ```
+//!
+//! The parking lot itself talks to `std::thread::park`, which loom cannot
+//! model, so these scenarios are built so that both the probe (fast) path
+//! and the park path get exercised: under the in-tree loom stub each
+//! `check` is 64 repeated real executions whose thread timings vary, and
+//! under the real loom the spawn-level interleavings are still explored.
+//! Under a normal build this file compiles to nothing.
+
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::thread;
+use parking::{EventcountBlocking, QsmMutexBlocking};
+use qsm::RawLock;
+use std::sync::Arc;
+
+fn model<F: Fn() + Sync + Send + 'static>(f: F) {
+    let mut builder = loom::model::Builder::new();
+    builder.preemption_bound = Some(2);
+    builder.check(f);
+}
+
+/// Two threads increment a plain (non-atomic) cell under the blocking QSM
+/// lock; no interleaving may lose an update, whether the loser of the
+/// queue race takes the probe path or the park path.
+fn check_mutex_excludes<N>(new_lock: N)
+where
+    N: Fn() -> QsmMutexBlocking + Sync + Send + Copy + 'static,
+{
+    model(move || {
+        let lock = Arc::new(new_lock());
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let token = lock.lock();
+                    cell.with_mut(|p| unsafe { *p += 1 });
+                    unsafe { lock.unlock(token) };
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = cell.with(|p| unsafe { *p });
+        assert_eq!(total, 2, "lost update under {}", lock.name());
+    });
+}
+
+#[test]
+fn loom_qsm_mutex_spin_then_park_excludes() {
+    check_mutex_excludes(QsmMutexBlocking::spin_then_park);
+}
+
+#[test]
+fn loom_qsm_mutex_always_park_excludes() {
+    // No probe budget at all: every contended acquisition goes straight to
+    // the futex, making the park path the common case instead of the rare
+    // one.
+    check_mutex_excludes(QsmMutexBlocking::always_park);
+}
+
+/// The eventcount as a publication barrier: the writer publishes into a
+/// plain cell *before* `advance`, the reader must observe the value after
+/// `await_at_least` returns — whether it won the fast path (advance landed
+/// before its first probe) or had to park.
+#[test]
+fn loom_eventcount_publishes_before_advance() {
+    model(|| {
+        let ec = Arc::new(EventcountBlocking::new());
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let writer = {
+            let ec = Arc::clone(&ec);
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.with_mut(|p| unsafe { *p = 42 });
+                ec.advance();
+            })
+        };
+        let reader = {
+            let ec = Arc::clone(&ec);
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let seen = ec.await_at_least(1);
+                assert!(seen >= 1);
+                let v = cell.with(|p| unsafe { *p });
+                assert_eq!(v, 42, "await returned before the publication");
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// An already-satisfied await must return on the pure fast path without
+/// ever touching the futex, from any thread.
+#[test]
+fn loom_eventcount_satisfied_await_is_immediate() {
+    model(|| {
+        let ec = Arc::new(EventcountBlocking::new());
+        ec.advance();
+        ec.advance();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let ec = Arc::clone(&ec);
+                thread::spawn(move || {
+                    assert!(ec.await_at_least(1) >= 2);
+                    assert!(ec.await_at_least(2) >= 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+/// Wraparound under concurrency: a waiter awaiting a post-wrap target must
+/// not be released by the pre-wrap count, however the advances interleave
+/// with its probes and parks.
+#[test]
+fn loom_eventcount_wraparound_release() {
+    model(|| {
+        let ec = Arc::new(EventcountBlocking::with_initial(u64::MAX - 1));
+        let waiter = {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || {
+                // Target 1 is three advances away, across the wrap.
+                let seen = ec.await_at_least(1);
+                assert!(
+                    (seen.wrapping_sub(1) as i64) >= 0,
+                    "released early at count {seen}"
+                );
+            })
+        };
+        let advancer = {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    ec.advance();
+                }
+            })
+        };
+        advancer.join().unwrap();
+        waiter.join().unwrap();
+    });
+}

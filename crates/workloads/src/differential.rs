@@ -1,0 +1,556 @@
+//! Cross-backend differential testing: one lock kernel, four substrates.
+//!
+//! Every kernel in the suite is written once against [`kernels::SyncCtx`]
+//! and then executed on substrates with very different semantics: the
+//! interleave checker (schedule-exhaustive or fuzzed, sequentially
+//! consistent), the cycle-level simulator (dedicated and oversubscribed
+//! machines), and real std threads over `SeqCst` atomics with the
+//! `parking` futex. A bug in a kernel shows up on all of them; a bug in a
+//! *substrate* — a miscounted futex wake in the simulator, a checker that
+//! parks a thread it should not — shows up as the backends disagreeing
+//! about the same workload. This module runs the canonical non-atomic
+//! counter workload (the same one [`kernels::locks::counter_trial`] and
+//! the interleave harness use) on all four and compares:
+//!
+//! * the **final counter** against `nthreads * iters` — the mutual
+//!   exclusion witness every backend shares;
+//! * **futex parks vs. wakes** where the substrate counts them (both
+//!   simulator machines, real threads): a completed run must balance,
+//!   because every parked waiter had to be woken for the run to finish;
+//! * **verdicts**: the checker-fuzz backend additionally race-checks the
+//!   counter accesses, so a broken lock fails there deterministically
+//!   even when the other backends get lucky.
+//!
+//! The checker backend samples schedules with the fuzzer (PCT by default)
+//! rather than searching exhaustively, which keeps the harness cheap
+//! enough to run over every lock in CI while still being a real
+//! adversary; see the `interleave::fuzz` module docs for the guarantee.
+
+use interleave::harness::{fuzz_lock, lock_program};
+use interleave::{Fuzzer, ReplayEnd, Strategy, Verdict};
+use kernels::locks::{counter_trial, fixture, lock_by_name, LockKernel};
+use kernels::{Addr, LockEvent, SyncCtx, Word};
+use memsim::{Machine, MachineParams, SchedParams};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Probe bound for real-thread spin loops: generous enough for any healthy
+/// lock hand-off, small enough that a genuinely stuck waiter fails the
+/// test instead of hanging it.
+const SPIN_LIMIT: u64 = 1 << 26;
+
+/// Shape of one differential trial.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Threads / simulated processors contending for the lock.
+    pub nthreads: usize,
+    /// Critical sections per thread.
+    pub iters: usize,
+    /// Cores for the oversubscribed simulator backend (`nthreads` should
+    /// exceed this for the scheduler to matter).
+    pub cores: usize,
+    /// Seed for the checker-fuzz backend.
+    pub fuzz_seed: u64,
+    /// Schedule budget for the checker-fuzz backend.
+    pub fuzz_iters: usize,
+    /// Simulated cycles held inside the critical section on the simulator
+    /// backends (widens the violation window for broken locks).
+    pub hold: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            nthreads: 2,
+            iters: 2,
+            cores: 1,
+            fuzz_seed: interleave::fuzz::DEFAULT_FUZZ_SEED,
+            fuzz_iters: 60,
+            hold: 10,
+        }
+    }
+}
+
+/// What one backend observed for the shared workload.
+#[derive(Debug, Clone)]
+pub struct BackendOutcome {
+    /// Backend identifier (`checker-fuzz`, `memsim-bus`, `memsim-oversub`,
+    /// `real-threads`).
+    pub backend: &'static str,
+    /// Final counter value, when the backend completed the run.
+    pub counter: Option<Word>,
+    /// Futex parks, on backends that count them.
+    pub futex_parks: Option<u64>,
+    /// Waiters dequeued by futex wakes, on backends that count them.
+    pub futex_woken: Option<u64>,
+    /// Why the backend failed outright (verdict, simulator error, panic).
+    pub failure: Option<String>,
+}
+
+/// The four backends' outcomes for one lock, plus the comparison logic.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The lock under test.
+    pub lock: String,
+    /// `nthreads * iters` — the counter value every backend must reach.
+    pub expected: Word,
+    /// One entry per backend, in a fixed order.
+    pub outcomes: Vec<BackendOutcome>,
+}
+
+impl DiffReport {
+    /// Every way the backends deviate from the expected outcome or from
+    /// each other, one human-readable line each. Empty means agreement.
+    pub fn disagreements(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for o in &self.outcomes {
+            if let Some(f) = &o.failure {
+                out.push(format!("{}: {f}", o.backend));
+                continue;
+            }
+            if let Some(c) = o.counter {
+                if c != self.expected {
+                    out.push(format!(
+                        "{}: counter {c} != expected {}",
+                        o.backend, self.expected
+                    ));
+                }
+            }
+            if let (Some(parks), Some(woken)) = (o.futex_parks, o.futex_woken) {
+                if parks != woken {
+                    out.push(format!(
+                        "{}: {parks} futex parks but {woken} futex wakes",
+                        o.backend
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every backend completed, reached the expected counter, and
+    /// balanced its futex parks against wakes.
+    pub fn all_agree(&self) -> bool {
+        self.disagreements().is_empty()
+    }
+
+    /// One-line-per-backend summary table for logs and CI artifacts.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("differential {}: expected counter {}\n", self.lock, self.expected);
+        for o in &self.outcomes {
+            let counter = o
+                .counter
+                .map_or_else(|| "-".to_string(), |c| c.to_string());
+            let parks = o
+                .futex_parks
+                .map_or_else(|| "-".to_string(), |p| p.to_string());
+            let woken = o
+                .futex_woken
+                .map_or_else(|| "-".to_string(), |w| w.to_string());
+            let status = o.failure.as_deref().unwrap_or("ok");
+            let _ = writeln!(
+                s,
+                "  {:<14} counter {:<6} parks {:<4} wakes {:<4} {status}",
+                o.backend, counter, parks, woken
+            );
+        }
+        s
+    }
+}
+
+/// Runs the differential trial for a registry lock, resolved by name
+/// through [`kernels::locks::lock_by_name`] (spin-lock study and blocking
+/// variants alike).
+pub fn differential_lock(name: &str, cfg: &DiffConfig) -> Result<DiffReport, String> {
+    let lock: Arc<dyn LockKernel + Send + Sync> = Arc::from(
+        lock_by_name(name).ok_or_else(|| format!("unknown lock '{name}'"))?,
+    );
+    Ok(differential_lock_kernel(lock, cfg))
+}
+
+/// Runs the differential trial for an arbitrary kernel — the entry point
+/// tests use to prove the harness catches a deliberately broken lock.
+pub fn differential_lock_kernel(
+    lock: Arc<dyn LockKernel + Send + Sync>,
+    cfg: &DiffConfig,
+) -> DiffReport {
+    let expected = (cfg.nthreads * cfg.iters) as Word;
+    let outcomes = vec![
+        checker_fuzz_backend(&lock, cfg),
+        memsim_backend("memsim-bus", dedicated_machine(cfg), &lock, cfg),
+        memsim_backend("memsim-oversub", oversub_machine(cfg), &lock, cfg),
+        real_threads_backend(&lock, cfg),
+    ];
+    DiffReport {
+        lock: lock.name().to_string(),
+        expected,
+        outcomes,
+    }
+}
+
+/// The paper's dedicated bus machine, with the cycle ceiling raised so the
+/// blocking variants' occasional parks fit comfortably.
+fn dedicated_machine(cfg: &DiffConfig) -> Machine {
+    let mut params = MachineParams::bus_1991(cfg.nthreads);
+    params.max_cycles = 50_000_000;
+    Machine::new(params)
+}
+
+/// The oversubscribed machine: same bus, `cfg.cores` cores under the
+/// 1991-flavored scheduler (mirrors `oversub::oversub_machine`).
+fn oversub_machine(cfg: &DiffConfig) -> Machine {
+    let mut params = MachineParams::bus_1991(cfg.nthreads);
+    params.sched = Some(SchedParams::oversub_1991(cfg.cores));
+    params.max_cycles = 50_000_000;
+    Machine::new(params)
+}
+
+fn verdict_summary(v: &Verdict) -> String {
+    match v {
+        Verdict::Passed(_) => "passed".to_string(),
+        Verdict::Deadlock { blocked, .. } => {
+            format!("deadlock ({} threads blocked)", blocked.len())
+        }
+        Verdict::LostWakeup { parked, .. } => {
+            format!("lost wakeup ({} threads parked)", parked.len())
+        }
+        Verdict::Violation { message, .. } => format!("violation: {message}"),
+        Verdict::Race { report, .. } => format!("data race: {report:?}"),
+        Verdict::Starvation { report, .. } => format!("starvation: {report:?}"),
+    }
+}
+
+/// Backend 1: the interleave checker driven by the schedule fuzzer. On a
+/// pass, the counter is witnessed by replaying the default schedule (the
+/// checker's memory is not otherwise exposed through the fuzz report).
+fn checker_fuzz_backend(
+    lock: &Arc<dyn LockKernel + Send + Sync>,
+    cfg: &DiffConfig,
+) -> BackendOutcome {
+    let fuzzer = Fuzzer::new(cfg.fuzz_seed, cfg.fuzz_iters, Strategy::default());
+    let report = fuzz_lock(Arc::clone(lock), cfg.nthreads, cfg.iters, &fuzzer);
+    let mut outcome = BackendOutcome {
+        backend: "checker-fuzz",
+        counter: None,
+        futex_parks: None,
+        futex_woken: None,
+        failure: None,
+    };
+    match &report.verdict {
+        Verdict::Passed(_) => {
+            let program = lock_program(Arc::clone(lock), cfg.nthreads, cfg.iters);
+            let counter = program.initial_memory().len() - 1;
+            match fuzzer.explorer().replay(&program, &[]).end {
+                ReplayEnd::Complete(mem) => outcome.counter = Some(mem[counter]),
+                other => {
+                    outcome.failure =
+                        Some(format!("counter-witness replay did not complete: {other:?}"))
+                }
+            }
+        }
+        v => {
+            let mut failure = verdict_summary(v);
+            if let Some(shrunk) = &report.shrunk {
+                use std::fmt::Write as _;
+                let _ = write!(
+                    failure,
+                    " (seed {}, shrunk schedule {:?})",
+                    cfg.fuzz_seed, shrunk.schedule
+                );
+            }
+            outcome.failure = Some(failure);
+        }
+    }
+    outcome
+}
+
+/// Backends 2 and 3: the cycle-level simulator, dedicated or scheduled.
+fn memsim_backend(
+    name: &'static str,
+    machine: Machine,
+    lock: &Arc<dyn LockKernel + Send + Sync>,
+    cfg: &DiffConfig,
+) -> BackendOutcome {
+    match counter_trial(&machine, &**lock, cfg.nthreads, cfg.iters, cfg.hold) {
+        Ok((count, report)) => BackendOutcome {
+            backend: name,
+            counter: Some(count),
+            futex_parks: Some(report.metrics.futex_parks()),
+            futex_woken: Some(report.metrics.futex_woken()),
+            failure: None,
+        },
+        Err(e) => BackendOutcome {
+            backend: name,
+            counter: None,
+            futex_parks: None,
+            futex_woken: None,
+            failure: Some(format!("simulation error: {e}")),
+        },
+    }
+}
+
+/// A [`SyncCtx`] over real std threads: shared memory is a `Vec<AtomicU64>`
+/// accessed at `SeqCst`, spins are bounded probe loops, and the futex
+/// methods are the `parking` crate's real parking lot. One instance per
+/// thread; the park/wake tallies are summed after the join.
+struct RealCtx {
+    pid: usize,
+    nprocs: usize,
+    mem: Arc<Vec<AtomicU64>>,
+    parks: u64,
+    wakes: u64,
+}
+
+impl RealCtx {
+    fn new(pid: usize, nprocs: usize, mem: Arc<Vec<AtomicU64>>) -> Self {
+        RealCtx {
+            pid,
+            nprocs,
+            mem,
+            parks: 0,
+            wakes: 0,
+        }
+    }
+
+    fn probe(probes: &mut u64, addr: Addr) {
+        *probes += 1;
+        assert!(
+            *probes < SPIN_LIMIT,
+            "real-threads backend: spin on word {addr} exceeded {SPIN_LIMIT} probes (hung lock?)"
+        );
+        if (*probes).is_multiple_of(64) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl SyncCtx for RealCtx {
+    fn pid(&self) -> usize {
+        self.pid
+    }
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+    fn load(&mut self, addr: Addr) -> Word {
+        self.mem[addr].load(Ordering::SeqCst)
+    }
+    fn store(&mut self, addr: Addr, val: Word) {
+        self.mem[addr].store(val, Ordering::SeqCst);
+    }
+    fn swap(&mut self, addr: Addr, val: Word) -> Word {
+        self.mem[addr].swap(val, Ordering::SeqCst)
+    }
+    fn cas(&mut self, addr: Addr, expected: Word, new: Word) -> Result<Word, Word> {
+        self.mem[addr].compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+    fn fetch_add(&mut self, addr: Addr, delta: Word) -> Word {
+        self.mem[addr].fetch_add(delta, Ordering::SeqCst)
+    }
+    fn spin_while(&mut self, addr: Addr, val: Word) -> Word {
+        let mut probes = 0;
+        loop {
+            let cur = self.mem[addr].load(Ordering::SeqCst);
+            if cur != val {
+                return cur;
+            }
+            Self::probe(&mut probes, addr);
+        }
+    }
+    fn spin_until(&mut self, addr: Addr, val: Word) {
+        let mut probes = 0;
+        while self.mem[addr].load(Ordering::SeqCst) != val {
+            Self::probe(&mut probes, addr);
+        }
+    }
+    fn delay(&mut self, cycles: u64) {
+        for _ in 0..cycles.min(1_000) {
+            std::hint::spin_loop();
+        }
+    }
+    fn lock_event(&mut self, _event: LockEvent) {}
+    fn futex_wait(&mut self, addr: Addr, expected: Word) -> Word {
+        if parking::futex::futex_wait(&self.mem[addr], expected) {
+            self.parks += 1;
+        }
+        self.mem[addr].load(Ordering::SeqCst)
+    }
+    fn futex_wake(&mut self, addr: Addr, n: usize) -> usize {
+        let woken = parking::futex::futex_wake(&self.mem[addr], n);
+        self.wakes += woken as u64;
+        woken
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "thread panicked".to_string()
+    }
+}
+
+/// Backend 4: the kernel on real std threads. Same layout as the
+/// simulator backends ([`fixture`]), same deliberately non-atomic counter
+/// increment in the critical section.
+fn real_threads_backend(
+    lock: &Arc<dyn LockKernel + Send + Sync>,
+    cfg: &DiffConfig,
+) -> BackendOutcome {
+    let (fix, init) = fixture(&**lock, cfg.nthreads, 8, 1);
+    let counter = fix.scratch.slot(0);
+    let mem: Arc<Vec<AtomicU64>> = Arc::new(init.into_iter().map(AtomicU64::new).collect());
+    let iters = cfg.iters;
+    let nthreads = cfg.nthreads;
+    let joined: Vec<Result<(u64, u64), String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|pid| {
+                let lock = Arc::clone(lock);
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    let mut ctx = RealCtx::new(pid, nthreads, mem);
+                    let mut ps = lock.proc_init(pid, &fix.region);
+                    for _ in 0..iters {
+                        let token = lock.acquire(&mut ctx, &fix.region, &mut ps);
+                        let v = ctx.data_load(counter);
+                        std::thread::yield_now();
+                        ctx.data_store(counter, v + 1);
+                        lock.release(&mut ctx, &fix.region, &mut ps, token);
+                    }
+                    (ctx.parks, ctx.wakes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|e| panic_message(&*e)))
+            .collect()
+    });
+    let mut parks = 0;
+    let mut wakes = 0;
+    let mut failures = Vec::new();
+    for r in joined {
+        match r {
+            Ok((p, w)) => {
+                parks += p;
+                wakes += w;
+            }
+            Err(msg) => failures.push(msg),
+        }
+    }
+    if failures.is_empty() {
+        BackendOutcome {
+            backend: "real-threads",
+            counter: Some(mem[counter].load(Ordering::SeqCst)),
+            futex_parks: Some(parks),
+            futex_woken: Some(wakes),
+            failure: None,
+        }
+    } else {
+        BackendOutcome {
+            backend: "real-threads",
+            counter: None,
+            futex_parks: None,
+            futex_woken: None,
+            failure: Some(failures.join("; ")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::Region;
+
+    #[test]
+    fn differential_agrees_on_qsm() {
+        let report = differential_lock("qsm", &DiffConfig::default()).unwrap();
+        assert!(
+            report.all_agree(),
+            "qsm backends disagreed:\n{}",
+            report.render()
+        );
+        for o in &report.outcomes {
+            assert_eq!(o.counter, Some(report.expected), "{} counter", o.backend);
+        }
+    }
+
+    #[test]
+    fn differential_agrees_on_blocking_qsm() {
+        let report = differential_lock("qsm-block-park", &DiffConfig::default()).unwrap();
+        assert!(
+            report.all_agree(),
+            "qsm-block-park backends disagreed:\n{}",
+            report.render()
+        );
+        // The always-park variant must actually exercise the futex on the
+        // oversubscribed machine, and the parks must balance the wakes.
+        let oversub = report
+            .outcomes
+            .iter()
+            .find(|o| o.backend == "memsim-oversub")
+            .unwrap();
+        assert_eq!(oversub.futex_parks, oversub.futex_woken);
+    }
+
+    #[test]
+    fn differential_flags_a_broken_lock() {
+        // "Acquire" is a plain store: no atomicity, no waiting. The
+        // checker-fuzz backend must fail it deterministically (race
+        // detection), whatever the timing-dependent backends observe.
+        #[derive(Debug)]
+        struct BrokenLock;
+        impl LockKernel for BrokenLock {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn lines_needed(&self, _p: usize) -> usize {
+                1
+            }
+            fn acquire(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64) -> u64 {
+                ctx.store(region.slot(0), 1);
+                0
+            }
+            fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64, _t: u64) {
+                ctx.store(region.slot(0), 0);
+            }
+        }
+        let cfg = DiffConfig {
+            iters: 1,
+            fuzz_seed: 17,
+            fuzz_iters: 200,
+            ..DiffConfig::default()
+        };
+        let report = differential_lock_kernel(Arc::new(BrokenLock), &cfg);
+        assert!(!report.all_agree(), "broken lock slipped through:\n{}", report.render());
+        let checker = report
+            .outcomes
+            .iter()
+            .find(|o| o.backend == "checker-fuzz")
+            .unwrap();
+        assert!(
+            checker.failure.as_deref().unwrap_or("").contains("data race"),
+            "checker backend should flag the race, got {:?}",
+            checker.failure
+        );
+    }
+
+    #[test]
+    fn unknown_lock_name_is_an_error() {
+        let err = differential_lock("nonexistent", &DiffConfig::default()).unwrap_err();
+        assert!(err.contains("unknown lock"), "got: {err}");
+    }
+
+    #[test]
+    fn report_render_lists_every_backend() {
+        let report = differential_lock("ticket", &DiffConfig::default()).unwrap();
+        let rendered = report.render();
+        for backend in ["checker-fuzz", "memsim-bus", "memsim-oversub", "real-threads"] {
+            assert!(rendered.contains(backend), "missing {backend}:\n{rendered}");
+        }
+    }
+}

@@ -16,9 +16,13 @@
 //!   comparison behind fig9 and table4, run on the scheduled simulator.
 //! * [`realhw`] — the real-hardware (std thread) harness behind fig8,
 //!   exercising the `qsm` crate rather than the simulator.
+//! * [`differential`] — the cross-backend differential harness: the same
+//!   lock workload on the interleave fuzzer, both simulator machines, and
+//!   real threads, with the outcomes compared.
 
 pub mod barrierbench;
 pub mod csbench;
+pub mod differential;
 pub mod fairness;
 pub mod oversub;
 pub mod realhw;

@@ -1,0 +1,180 @@
+//! Fuzz-layer regressions: seeded bugs the randomized scheduler must
+//! rediscover on a fixed budget, plus the cross-backend differential
+//! smoke.
+//!
+//! `tests/analysis_seeded_bugs.rs` proves the *exhaustive* explorer
+//! catches each seeded bug; this suite proves the *sampling* path —
+//! `interleave::Fuzzer` with PCT priorities — finds the same bugs within
+//! a fixed seed and iteration budget, shrinks the failing schedule to (at
+//! most) the hand-minimized length, and reproduces byte-identically from
+//! the seed. Everything here is deterministic: a failure is a real
+//! regression, never flake.
+
+use interleave::{Explorer, Fuzzer, Program, ReplayEnd, Strategy, Verdict};
+use kernels::SyncCtx;
+use workloads::differential::{differential_lock, DiffConfig};
+
+/// The wake-before-publish flag handshake from the seeded-bug suite: the
+/// waker fires its futex wake while the queue is still empty, then
+/// publishes; a waiter that read the stale flag parks on a compare that
+/// still succeeds and sleeps forever.
+fn flag_handshake_program(fixed: bool) -> Program {
+    Program::new(2, 1, move |ctx| {
+        if ctx.pid() == 0 {
+            let mut cur = ctx.load(0);
+            while cur == 0 {
+                cur = ctx.futex_wait(0, cur);
+            }
+        } else if fixed {
+            ctx.store(0, 1);
+            ctx.futex_wake(0, usize::MAX);
+        } else {
+            ctx.futex_wake(0, usize::MAX); // bug: wake into an empty queue...
+            ctx.store(0, 1); // ...then publish, too late for a parked waiter.
+        }
+    })
+}
+
+/// The eventcount whose `advance` forgets its wake, also from the seeded
+/// suite: two waiters park on the count, the advancer bumps it and never
+/// wakes anyone.
+fn forgotten_wake_program() -> Program {
+    Program::new(3, 1, |ctx| {
+        if ctx.pid() < 2 {
+            loop {
+                let cur = ctx.load(0);
+                if cur >= 1 {
+                    break;
+                }
+                ctx.futex_wait(0, cur);
+            }
+        } else {
+            ctx.fetch_add(0, 1); // advance, but never wake
+        }
+    })
+}
+
+/// The hand-minimized reproduction of the handshake bug: t0 reads the
+/// stale flag, t1 fires the wake into the empty queue, t0 parks — three
+/// scheduled steps; everything after is forced.
+const HANDSHAKE_MINIMAL_LEN: usize = 3;
+
+#[test]
+fn pct_finds_wake_before_publish_within_budget() {
+    let fuzzer = Fuzzer::new(1991, 200, Strategy::Pct { change_points: 3 });
+    let report = fuzzer.run(&flag_handshake_program(false), |_| Ok(()));
+    let parked = match &report.verdict {
+        Verdict::LostWakeup { parked, .. } => parked.clone(),
+        other => panic!("PCT must lose the wakeup within 200 schedules, got {other:?}"),
+    };
+    assert_eq!(parked, vec![(0, 0)], "the waiter sleeps on word 0");
+    assert!(report.failing_iter.is_some());
+
+    // The shrinker must reach (at most) the hand-minimized schedule, and
+    // the shrunk schedule must replay to the same verdict class.
+    let shrunk = report.shrunk.expect("shrinking is on by default");
+    assert!(
+        shrunk.schedule.len() <= HANDSHAKE_MINIMAL_LEN,
+        "shrunk schedule {:?} is longer than the hand-minimal {HANDSHAKE_MINIMAL_LEN} steps",
+        shrunk.schedule
+    );
+    let replay = fuzzer
+        .explorer()
+        .replay(&flag_handshake_program(false), &shrunk.schedule);
+    assert!(
+        matches!(replay.end, ReplayEnd::LostWakeup(ref p) if *p == parked),
+        "shrunk schedule must reproduce the lost wakeup, got {:?}",
+        replay.end
+    );
+}
+
+#[test]
+fn uniform_also_finds_wake_before_publish() {
+    let fuzzer = Fuzzer::new(7, 500, Strategy::Uniform);
+    let report = fuzzer.run(&flag_handshake_program(false), |_| Ok(()));
+    assert!(
+        matches!(report.verdict, Verdict::LostWakeup { .. }),
+        "uniform random walk must also find the bug, got {:?}",
+        report.verdict
+    );
+}
+
+#[test]
+fn fuzzing_the_fixed_handshake_passes_its_budget() {
+    let fuzzer = Fuzzer::new(1991, 200, Strategy::Pct { change_points: 3 });
+    fuzzer
+        .run(&flag_handshake_program(true), |_| Ok(()))
+        .expect_pass("fixed flag handshake under fuzzing");
+}
+
+#[test]
+fn pct_finds_the_forgotten_eventcount_wake() {
+    let fuzzer = Fuzzer::new(1991, 300, Strategy::Pct { change_points: 3 });
+    let report = fuzzer.run(&forgotten_wake_program(), |_| Ok(()));
+    match &report.verdict {
+        Verdict::LostWakeup { parked, .. } => {
+            // However the schedule fell, every parked thread sleeps on the
+            // count word.
+            assert!(!parked.is_empty());
+            assert!(parked.iter().all(|&(_, addr)| addr == 0));
+        }
+        other => panic!("forgotten wake must strand the waiters, got {other:?}"),
+    }
+}
+
+/// Same seed, same strategy, same program → byte-identical verdict and
+/// shrunk schedule. This is what makes a fuzz failure in CI a replayable
+/// artifact rather than a flake report.
+#[test]
+fn fuzz_failures_are_reproducible_from_the_seed() {
+    for strategy in [Strategy::Uniform, Strategy::Pct { change_points: 3 }] {
+        let run = || {
+            let fuzzer = Fuzzer::new(1991, 500, strategy);
+            fuzzer.run(&flag_handshake_program(false), |_| Ok(()))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            format!("{:?}", a.verdict),
+            format!("{:?}", b.verdict),
+            "verdicts diverged under {strategy}"
+        );
+        assert_eq!(a.failing_iter, b.failing_iter);
+        assert_eq!(
+            a.shrunk.map(|s| s.schedule),
+            b.shrunk.map(|s| s.schedule),
+            "shrunk schedules diverged under {strategy}"
+        );
+    }
+}
+
+/// A parked waiter at preemption bound 0 is a lost wakeup, not a deadlock
+/// — the end-to-end version of the explorer-level regression. The
+/// forgotten-wake program parks its waiters without needing a single
+/// preemption (each thread runs to its park voluntarily), so even the
+/// strictest bound must reach — and correctly classify — the hang.
+#[test]
+fn bounded_explorer_classifies_the_park_hang_as_lost_wakeup() {
+    for explorer in [Explorer::bounded(0), Explorer::bounded(0).with_bypass_bound(1)] {
+        let verdict = explorer.check(&forgotten_wake_program(), |_| Ok(()));
+        assert!(
+            matches!(verdict, Verdict::LostWakeup { .. }),
+            "bounded(0) must classify the park hang as LostWakeup, got {verdict:?}"
+        );
+    }
+}
+
+/// The differential harness agrees across all four backends for healthy
+/// registry locks — including a blocking variant, which exercises the
+/// futex park/wake accounting on the simulator and real threads.
+#[test]
+fn differential_backends_agree_on_registry_locks() {
+    for name in ["qsm", "mcs", "qsm-block"] {
+        let report = differential_lock(name, &DiffConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            report.all_agree(),
+            "{name} backends disagreed:\n{}",
+            report.render()
+        );
+    }
+}
