@@ -17,8 +17,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const USAGE: &str = "\
-usage: bench_sim [--quick | --full] [--only IDS] [--out PATH] [--help]
+usage: bench_sim [--quick | --full] [--only IDS] [--out PATH]
+                 [--trace-out PATH] [--trace-workload bus|oversub] [--help]
 
+  --trace-out PATH       also export a Chrome trace-event JSON timeline of
+                         one traced workload (validated before writing)
+  --trace-workload KIND  which workload to trace: `bus` (dedicated bus
+                         machine, qsm) or `oversub` (the fig9
+                         oversubscription machine, qsm-block-park; default)
   --quick     reduced sweeps (the CI perf-smoke configuration)
   --full      full sweeps (default; the publication figures)
   --only IDS  comma-separated figure ids to run (default: all)
@@ -29,6 +35,8 @@ struct Args {
     quick: bool,
     only: Option<Vec<String>>,
     out: String,
+    trace_out: Option<String>,
+    trace_workload: String,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +44,8 @@ fn parse_args() -> Args {
         quick: false,
         only: None,
         out: "BENCH_sim.json".to_string(),
+        trace_out: None,
+        trace_workload: "oversub".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,6 +66,22 @@ fn parse_args() -> Args {
                 Some(path) => args.out = path,
                 None => {
                     eprintln!("error: --out needs a path");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => args.trace_out = Some(path),
+                None => {
+                    eprintln!("error: --trace-out needs a path");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-workload" => match it.next() {
+                Some(kind) if kind == "bus" || kind == "oversub" => args.trace_workload = kind,
+                _ => {
+                    eprintln!("error: --trace-workload must be `bus` or `oversub`");
                     eprintln!("{USAGE}");
                     std::process::exit(2);
                 }
@@ -138,4 +164,18 @@ fn main() {
         selected.len(),
         total_ms
     );
+
+    if let Some(trace_out) = &args.trace_out {
+        let trace_json = bench::trace_export::export_trace(&args.trace_workload, args.quick);
+        let stats = trace::chrome::validate(&trace_json)
+            .unwrap_or_else(|e| panic!("exported trace failed validation: {e}"));
+        if let Err(e) = std::fs::write(trace_out, &trace_json) {
+            eprintln!("error: writing {trace_out}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace OK: wrote {trace_out} ({} workload, {} events, {} tracks, {} spans)",
+            args.trace_workload, stats.events, stats.tracks, stats.spans
+        );
+    }
 }

@@ -1,0 +1,10 @@
+//! fig10 — lock wait-time CDF from the event-traced critical-section
+//! workload: wait-cycle quantiles at fixed percentiles, per lock.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig10_wait_cdf [-- --csv]
+//! ```
+
+fn main() {
+    bench::figures::run_main("fig10");
+}

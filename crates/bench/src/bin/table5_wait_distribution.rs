@@ -1,0 +1,10 @@
+//! table5 — wait/hold-time distribution summary (p50/p90/p99/max) per lock
+//! word, extracted from the event trace of an instrumented csbench run.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table5_wait_distribution [-- --csv]
+//! ```
+
+fn main() {
+    bench::figures::run_main("table5");
+}

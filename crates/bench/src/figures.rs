@@ -16,6 +16,7 @@ use simcore::Series;
 use workloads::csbench::{self, CsConfig};
 use workloads::oversub::{blocking_latency_table, oversubscription_sweep};
 use workloads::rwbench::{run_mutex, run_rwlock, RwConfig};
+use workloads::waitdist::{distribution_sweep, CDF_PERCENTILES};
 use workloads::sweeps::{
     backoff_ablation, barrier_scaling, contention_sweep, lock_scaling, lock_traffic,
     uncontended_table, MachineKind,
@@ -113,6 +114,18 @@ pub static FIGURES: &[Figure] = &[
         binary: "table4_blocking_latency",
         deterministic: true,
         render: table4,
+    },
+    Figure {
+        id: "fig10",
+        binary: "fig10_wait_cdf",
+        deterministic: true,
+        render: fig10,
+    },
+    Figure {
+        id: "table5",
+        binary: "table5_wait_distribution",
+        deterministic: true,
+        render: table5,
     },
 ];
 
@@ -476,6 +489,77 @@ pub fn table4(opts: &Opts) -> String {
             "(uncontended: acquire+release on a dedicated machine — the cost of having\n\
              a park path without using it. parks per CS: futex parks per critical\n\
              section in the oversubscribed trial; pure spin is always 0.)\n",
+        );
+        out
+    }
+}
+
+/// The wait/hold distribution trials behind fig10 and table5 share one
+/// sweep shape per mode.
+fn waitdist_sweep(opts: &Opts) -> (usize, Vec<workloads::waitdist::WaitDistResult>) {
+    let nprocs = if opts.quick { 4 } else { 16 };
+    (nprocs, distribution_sweep(nprocs, opts.iters()))
+}
+
+/// fig10 — the lock wait-time CDF: for each lock, the wait-time quantile
+/// (cycles, log2-bucketed) at fixed percentiles of the acquisition
+/// population. Flat curves mean uniform service; a long p99 tail is the
+/// signature of collapse or unfairness under contention.
+pub fn fig10(opts: &Opts) -> String {
+    let (nprocs, sweep) = waitdist_sweep(opts);
+    let mut series = Series::new("percentile", "wait cycles");
+    for r in &sweep {
+        for &pct in CDF_PERCENTILES {
+            series.push(&r.name, pct, r.wait_q(pct as f64 / 100.0) as f64);
+        }
+    }
+    series_block(
+        opts,
+        &format!("Fig 10: lock wait-time CDF (bus machine, P = {nprocs})"),
+        &series,
+    )
+}
+
+/// table5 — wait- and hold-time distribution summary per lock word:
+/// p50/p90/p99/max of both, from the same traced trials as fig10.
+pub fn table5(opts: &Opts) -> String {
+    let (nprocs, sweep) = waitdist_sweep(opts);
+    let mut table = Table::new(&[
+        "lock",
+        "wait p50",
+        "wait p90",
+        "wait p99",
+        "wait max",
+        "hold p50",
+        "hold p90",
+        "hold p99",
+        "hold max",
+    ])
+    .with_title(format!(
+        "Table 5: wait/hold-time distribution per lock word (bus, P = {nprocs}, cycles)"
+    ));
+    for r in &sweep {
+        table.row_owned(vec![
+            r.name.clone(),
+            r.wait_q(0.5).to_string(),
+            r.wait_q(0.9).to_string(),
+            r.wait_q(0.99).to_string(),
+            r.dist.wait.max().to_string(),
+            r.hold_q(0.5).to_string(),
+            r.hold_q(0.9).to_string(),
+            r.hold_q(0.99).to_string(),
+            r.dist.hold.max().to_string(),
+        ]);
+    }
+    if opts.csv {
+        table.render_csv()
+    } else {
+        let mut out = table.render();
+        out.push('\n');
+        out.push_str(
+            "(from the event trace of an instrumented csbench run: wait is\n\
+             acquire-start to acquired, hold is acquired to released. Quantiles\n\
+             are log2-bucket upper bounds, clamped to the observed maximum.)\n",
         );
         out
     }

@@ -22,6 +22,60 @@ use std::fmt::Write as _;
 
 pub mod figures;
 
+/// The traced reference workloads behind `bench_sim --trace-out` and the
+/// trace-determinism golden test.
+pub mod trace_export {
+    use kernels::lockdep::InstrumentedLock;
+    use kernels::locks::{lock_by_name, LockKernel};
+    use std::sync::Arc;
+    use workloads::csbench::{self, CsConfig};
+
+    /// The workloads [`export_trace`] accepts.
+    pub const WORKLOADS: &[&str] = &["bus", "oversub"];
+
+    /// Runs one traced workload and returns its Chrome trace-event JSON.
+    ///
+    /// `bus` is the dedicated-machine csbench with the stock QSM lock;
+    /// `oversub` is the fig9 configuration (4-core scheduled bus machine,
+    /// 2 threads per core, always-park QSM), whose timeline shows parks,
+    /// wake flow arrows and context switches. Both are deterministic: the
+    /// tracer is attached explicitly and the simulator's cycle stream is
+    /// independent of it.
+    ///
+    /// # Panics
+    ///
+    /// On an unknown workload name or a simulator error.
+    pub fn export_trace(workload: &str, quick: bool) -> String {
+        let iters = if quick { 4 } else { 8 };
+        let (machine, lock_name, nprocs) = match workload {
+            "bus" => {
+                let nprocs = if quick { 4 } else { 8 };
+                let machine = memsim::Machine::new(memsim::MachineParams::bus_1991(nprocs));
+                (machine, "qsm", nprocs)
+            }
+            "oversub" => {
+                let cores = 4;
+                let nprocs = 2 * cores;
+                (
+                    workloads::oversub::oversub_machine(nprocs, cores),
+                    "qsm-block-park",
+                    nprocs,
+                )
+            }
+            other => panic!("unknown trace workload {other:?} (expected one of {WORKLOADS:?})"),
+        };
+        let tracer = trace::Tracer::full(nprocs);
+        let machine = machine.with_tracer(Arc::clone(&tracer));
+        let lock: Arc<dyn LockKernel + Send + Sync> =
+            Arc::from(lock_by_name(lock_name).expect("registry lock"));
+        let instrumented = InstrumentedLock::new(lock, 0);
+        let cfg = CsConfig::new(nprocs, iters);
+        csbench::run(&machine, &instrumented, &cfg)
+            .unwrap_or_else(|e| panic!("trace workload {workload}: {e}"));
+        trace::chrome::export_tracer(&tracer, &format!("syncmech {workload} {lock_name}"))
+    }
+}
+
 /// Runtime options shared by all figure binaries.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Opts {

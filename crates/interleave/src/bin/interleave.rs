@@ -10,6 +10,7 @@
 //! interleave check lock:tas --threads 2 --iters 3 --preemptions 2 --bypass-bound 1
 //! interleave check barrier:central --threads 2 --episodes 1
 //! interleave replay lock:mcs --schedule 0,0,1,1,0,0 --threads 2 --iters 1
+//! interleave trace lock:qsm-block-park --threads 2 --iters 1 --out sched.json
 //! interleave fuzz lock:qsm-block --threads 3 --seed 1991 --iters 500 --strategy pct --shrink
 //! ```
 //!
@@ -23,7 +24,7 @@
 use interleave::fuzz::{self, Fuzzer, Strategy};
 use interleave::harness::{barrier_program, check_barrier, check_lock, check_lock_bypass};
 use interleave::harness::{fuzz_barrier, fuzz_lock, lock_program};
-use interleave::{Explorer, Program, Stats, Verdict};
+use interleave::{Explorer, OpKind, Program, Replay, ReplayEnd, Stats, Verdict};
 use kernels::barriers::{all_barriers, barrier_by_name};
 use kernels::lockdep::InstrumentedLock;
 use kernels::locks::{all_locks, lock_by_name, LockKernel};
@@ -36,7 +37,13 @@ fn usage() -> ! {
   interleave list
   interleave check  <lock:NAME|barrier:NAME> [options]
   interleave replay <lock:NAME|barrier:NAME> --schedule N,N,... [options]
+  interleave trace  <lock:NAME|barrier:NAME> [--schedule N,N,...] [--out PATH] [options]
   interleave fuzz   <lock:NAME|barrier:NAME> [options]
+
+trace renders a (re-)executed schedule — including a shrunk failure
+schedule pasted from fuzz — as a Chrome trace-event JSON timeline
+(load into Perfetto / chrome://tracing); --out writes it to a file,
+otherwise it goes to stdout.
 
 options:
   --threads N       thread count (default 2)
@@ -84,6 +91,8 @@ struct Args {
     shrink: bool,
     /// Critical sections per thread in the fuzzed lock workload.
     cs: usize,
+    /// Output path for `trace` (stdout when absent).
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -106,6 +115,7 @@ fn parse_args() -> Args {
         strategy: None,
         shrink: false,
         cs: 1,
+        out: None,
     };
     fn num<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
         let v = it.next().unwrap_or_else(|| {
@@ -138,6 +148,7 @@ fn parse_args() -> Args {
             }
             "--shrink" => args.shrink = true,
             "--cs" => args.cs = num(&mut it, "--cs"),
+            "--out" => args.out = Some(num(&mut it, "--out")),
             "--preemptions" => args.preemptions = Some(num(&mut it, "--preemptions")),
             "--max-steps" => args.max_steps = Some(num(&mut it, "--max-steps")),
             "--max-runs" => args.max_runs = Some(num(&mut it, "--max-runs")),
@@ -333,6 +344,158 @@ fn run_replay(args: &Args) -> ExitCode {
     }
 }
 
+/// Converts an executed schedule to Chrome trace-event JSON: one track per
+/// thread, timestamps = global step indices, spin probes coalesced into
+/// `spin` spans, park/resume pairs rendered as `parked` spans with flow
+/// arrows from the wake that ended them.
+fn replay_to_chrome(replay: &Replay, process_name: &str, threads: usize) -> String {
+    let ops = &replay.ops;
+    let last_step = ops.last().map_or(0, |op| op.step as u64);
+
+    // Classify futex waits. A wait op parks when the thread's next op is
+    // another wait on the same word with an intervening wake of that word
+    // by someone else (the checker re-executes the blocked wait as the
+    // waiter's resume step); a final wait in a lost-wakeup or deadlock end
+    // parks forever. Everything else returned immediately.
+    let wakes: Vec<usize> = (0..ops.len())
+        .filter(|&i| ops[i].kind == OpKind::FutexWake)
+        .collect();
+    let mut wake_used = vec![false; wakes.len()];
+    // For op i: does a park interval start here, and which wake (index
+    // into `wakes`) resumes op i?
+    let mut parks = vec![false; ops.len()];
+    let mut resumed_by: Vec<Option<usize>> = vec![None; ops.len()];
+    // wake op index -> pids it resumes (for flow arrows).
+    let mut wake_targets: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for pid in 0..threads {
+        let mine: Vec<usize> = (0..ops.len()).filter(|&i| ops[i].pid == pid).collect();
+        for (k, &a) in mine.iter().enumerate() {
+            if ops[a].kind != OpKind::FutexWait {
+                continue;
+            }
+            match mine.get(k + 1) {
+                Some(&b) if ops[b].kind == OpKind::FutexWait && ops[b].addr == ops[a].addr => {
+                    let wake = (0..wakes.len()).find(|&w| {
+                        !wake_used[w]
+                            && ops[wakes[w]].addr == ops[a].addr
+                            && ops[wakes[w]].step > ops[a].step
+                            && ops[wakes[w]].step < ops[b].step
+                    });
+                    if let Some(w) = wake {
+                        wake_used[w] = true;
+                        parks[a] = true;
+                        resumed_by[b] = Some(w);
+                        wake_targets.entry(wakes[w]).or_default().push(pid);
+                    }
+                }
+                None if matches!(replay.end, ReplayEnd::LostWakeup(_) | ReplayEnd::Deadlock(_)) => {
+                    // Parked at the end of the run and never woken.
+                    parks[a] = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut b = trace::chrome::ChromeTraceBuilder::new(process_name);
+    for t in 0..threads {
+        b.thread(t, &format!("thread {t}"));
+    }
+    // Open spin span per thread: (addr, begun).
+    let mut spinning: Vec<Option<u64>> = vec![None; threads];
+    // Open park span per thread (addr).
+    let mut parked: Vec<Option<u64>> = vec![None; threads];
+    for (i, op) in ops.iter().enumerate() {
+        let (pid, ts, addr) = (op.pid, op.step as u64, op.addr as u64);
+        if let Some(spin_addr) = spinning[pid] {
+            if op.kind != OpKind::SpinRead || spin_addr != addr {
+                b.end(pid, ts, &format!("spin @{spin_addr}"));
+                spinning[pid] = None;
+            }
+        }
+        match op.kind {
+            OpKind::SpinRead => {
+                if spinning[pid].is_none() {
+                    b.begin(pid, ts, &format!("spin @{addr}"));
+                    spinning[pid] = Some(addr);
+                }
+            }
+            OpKind::FutexWait => {
+                if let Some(w) = resumed_by[i] {
+                    let wake_op = wakes[w];
+                    b.end(pid, ts, &format!("parked @{addr}"));
+                    parked[pid] = None;
+                    b.flow_end(pid, ts, &format!("w{}:{pid}", ops[wake_op].step), "wake");
+                }
+                if parks[i] {
+                    b.begin(pid, ts, &format!("parked @{addr}"));
+                    parked[pid] = Some(addr);
+                } else if resumed_by[i].is_none() {
+                    b.instant(pid, ts, &format!("futex-wait @{addr} (no park)"));
+                }
+            }
+            OpKind::FutexWake => {
+                b.instant(pid, ts, &format!("wake @{addr}"));
+                for &wakee in wake_targets.get(&i).into_iter().flatten() {
+                    b.flow_start(pid, ts, &format!("w{}:{wakee}", op.step), "wake");
+                }
+            }
+            kind => b.instant(pid, ts, &format!("{kind} [{}] = {}", op.addr, op.value)),
+        }
+    }
+    // Close whatever is still open — spinners at a deadlock, waiters a
+    // lost wakeup stranded — at the last step so every span balances.
+    for pid in 0..threads {
+        if let Some(addr) = spinning[pid] {
+            b.end(pid, last_step, &format!("spin @{addr}"));
+        }
+        if let Some(addr) = parked[pid] {
+            b.end(pid, last_step, &format!("parked @{addr}"));
+        }
+    }
+    b.finish()
+}
+
+fn run_trace(args: &Args) -> ExitCode {
+    let program = build_program(args);
+    let schedule = args.schedule.clone().unwrap_or_default();
+    let replay = explorer_from(args).replay(&program, &schedule);
+    let target_name = match args.target.as_ref().unwrap_or_else(|| usage()) {
+        Target::Lock(name) => format!("interleave lock:{name}"),
+        Target::Barrier(name) => format!("interleave barrier:{name}"),
+    };
+    let json = replay_to_chrome(&replay, &target_name, args.threads);
+    let stats = match trace::chrome::validate(&json) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("internal error: exported trace failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "trace OK: wrote {path} ({} ops, {} events, {} tracks, {} spans; end: {:?})",
+                replay.ops.len(),
+                stats.events,
+                stats.tracks,
+                stats.spans,
+                replay.end
+            );
+        }
+        None => print!("{json}"),
+    }
+    match replay.end {
+        ReplayEnd::Complete(_) | ReplayEnd::StepLimit => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    }
+}
+
 fn run_fuzz(args: &Args) -> ExitCode {
     let seed = args.seed.unwrap_or_else(fuzz::fuzz_seed);
     let iters = args.iters_flag.unwrap_or_else(fuzz::fuzz_iters);
@@ -451,6 +614,7 @@ fn main() -> ExitCode {
         "list" => run_list(),
         "check" => run_check(&args),
         "replay" => run_replay(&args),
+        "trace" => run_trace(&args),
         "fuzz" => run_fuzz(&args),
         _ => usage(),
     }

@@ -149,10 +149,12 @@ pub fn timing_trial(
     machine.run_with_init(nprocs, memory, |p| {
         let mut st = barrier.make_state(p.pid(), nprocs);
         for ep in 0..episodes {
+            p.trace_event(trace::EventKind::EpisodeBegin { id: ep });
             // Deterministic skew: different processor each episode is "slow".
             let skew = (p.pid() as u64 + ep) % nprocs as u64;
             SyncCtx::delay(p, work + skew);
             barrier.arrive(p, &fix.region, &mut st);
+            p.trace_event(trace::EventKind::EpisodeEnd { id: ep });
         }
     })
 }

@@ -135,6 +135,19 @@ impl SyncCtx for memsim::Proc {
     fn delay(&mut self, cycles: u64) {
         memsim::Proc::delay(self, cycles)
     }
+    /// Lock events from instrumented kernels flow into the machine's event
+    /// tracer (when one is attached), timestamped with the processor's
+    /// simulated local clock — this is what turns an
+    /// [`crate::lockdep::InstrumentedLock`] into per-lock wait/hold-time
+    /// distributions on the simulator.
+    fn lock_event(&mut self, event: LockEvent) {
+        let kind = match event {
+            LockEvent::AcquireStart(lock) => trace::EventKind::LockAcquireStart { lock },
+            LockEvent::Acquired(lock) => trace::EventKind::LockAcquired { lock },
+            LockEvent::Released(lock) => trace::EventKind::LockReleased { lock },
+        };
+        self.trace_event(kind);
+    }
     fn futex_wait(&mut self, addr: Addr, expected: Word) -> Word {
         memsim::Proc::futex_wait(self, addr, expected)
     }

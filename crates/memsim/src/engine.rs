@@ -54,8 +54,9 @@ use std::cell::UnsafeCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::Thread;
+use trace::EventKind;
 
 /// Predicate a sleeping processor is waiting on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -337,10 +338,24 @@ pub(crate) struct EngineCore {
     pub(crate) error: Option<SimError>,
     /// Set when a processor thread reported a panic; the machine re-raises.
     pub(crate) user_panicked: bool,
+    /// Event recorder, when the machine has one attached. Recording is
+    /// strictly additive: no branch on `tracer` may influence simulated
+    /// timing or scheduling.
+    tracer: Option<Arc<trace::Tracer>>,
+    /// Per-pid flag: the simulated time the processor's current spin wait
+    /// began, used to record one `SpinBegin`/`SpinEnd` pair per logical
+    /// wait even though the scheduler re-executes the probe every poll
+    /// interval. `None` when the processor is not in a spin wait.
+    spin_since: Vec<Option<u64>>,
 }
 
 impl EngineCore {
-    fn new(params: MachineParams, init_memory: Vec<Word>, nprocs: usize) -> Self {
+    fn new(
+        params: MachineParams,
+        init_memory: Vec<Word>,
+        nprocs: usize,
+        tracer: Option<Arc<trace::Tracer>>,
+    ) -> Self {
         params.validate();
         assert!((1..=128).contains(&nprocs), "1..=128 processors supported");
         let net = Interconnect::new(&params);
@@ -367,6 +382,8 @@ impl EngineCore {
             memory: init_memory,
             user_panicked: false,
             params,
+            tracer,
+            spin_since: vec![None; nprocs],
         }
     }
 
@@ -465,6 +482,9 @@ impl EngineCore {
         let start = req.issue.max(free_at) + sched.p.ctx_switch_cycles;
         sched.slice_start[pid] = start;
         self.metrics.per_proc[pid].ctx_switches += 1;
+        if let Some(tr) = &self.tracer {
+            tr.record(pid, start, EventKind::CtxSwitchIn);
+        }
         if start > req.issue {
             // Re-queue at the adjusted issue so execution order stays
             // globally sorted; at the next pop the processor is on-core.
@@ -490,6 +510,9 @@ impl EngineCore {
             let start = req.issue.max(free_at) + sched.p.ctx_switch_cycles;
             sched.slice_start[pid] = start;
             self.metrics.per_proc[pid].ctx_switches += 1;
+            if let Some(tr) = &self.tracer {
+                tr.record(pid, start, EventKind::CtxSwitchIn);
+            }
             self.states[pid] = ProcState::Pending(Request { issue: start, ..req });
             self.pending.push(Reverse((start, pid)));
         }
@@ -571,6 +594,12 @@ impl EngineCore {
                 let t = self.access(pid, addr, AccessKind::Read, req.issue);
                 let cur = self.memory[addr];
                 if pred.satisfied(cur) {
+                    if self.spin_since[pid].take().is_some() {
+                        // A scheduler-polled spin just observed its value.
+                        if let Some(tr) = &self.tracer {
+                            tr.record(pid, t, EventKind::SpinEnd { addr });
+                        }
+                    }
                     (cur, t)
                 } else if let Some(sched) = &self.sched {
                     // Under the scheduler a spinner busy-polls its core
@@ -580,6 +609,12 @@ impl EngineCore {
                     // other processor. This is what makes pure spinning
                     // collapse once threads outnumber cores.
                     let next = t + sched.p.spin_poll_cycles;
+                    if self.spin_since[pid].is_none() {
+                        self.spin_since[pid] = Some(t);
+                        if let Some(tr) = &self.tracer {
+                            tr.record(pid, t, EventKind::SpinBegin { addr });
+                        }
+                    }
                     self.metrics.per_proc[pid].spin_wait_cycles += next - req.issue;
                     self.states[pid] = ProcState::Pending(Request {
                         pid,
@@ -589,6 +624,10 @@ impl EngineCore {
                     self.pending.push(Reverse((next, pid)));
                     return self.check_time(t);
                 } else {
+                    self.spin_since[pid] = Some(t);
+                    if let Some(tr) = &self.tracer {
+                        tr.record(pid, t, EventKind::SpinBegin { addr });
+                    }
                     self.states[pid] = ProcState::Waiting {
                         addr,
                         pred,
@@ -611,6 +650,9 @@ impl EngineCore {
                     (cur, t)
                 } else {
                     self.metrics.per_proc[pid].futex_parks += 1;
+                    if let Some(tr) = &self.tracer {
+                        tr.record(pid, t, EventKind::FutexPark { addr });
+                    }
                     self.states[pid] = ProcState::ParkedFutex {
                         addr,
                         expected,
@@ -643,6 +685,10 @@ impl EngineCore {
                         self.metrics.per_proc[wpid].wakeups += 1;
                         self.metrics.per_proc[wpid].spin_wait_cycles +=
                             t.saturating_sub(sleep_start);
+                        if let Some(tr) = &self.tracer {
+                            tr.record(pid, t, EventKind::FutexWake { addr, wakee: wpid });
+                            tr.record(wpid, t, EventKind::FutexResume { addr, waker: pid });
+                        }
                         // The wakee resumes off-core; its next submission
                         // re-enters through the scheduler's ready queue.
                         self.reply(slots, driver, wpid, self.memory[addr], t);
@@ -835,6 +881,10 @@ impl EngineCore {
             if pred.satisfied(cur) {
                 self.metrics.per_proc[pid].wakeups += 1;
                 self.metrics.per_proc[pid].spin_wait_cycles += t.saturating_sub(sleep_start);
+                self.spin_since[pid] = None;
+                if let Some(tr) = &self.tracer {
+                    tr.record(pid, t, EventKind::SpinEnd { addr });
+                }
                 self.reply(slots, driver, pid, cur, t);
             } else {
                 self.states[pid] = ProcState::Waiting {
@@ -861,9 +911,14 @@ pub(crate) struct EngineShared {
 }
 
 impl EngineShared {
-    pub(crate) fn new(params: MachineParams, init_memory: Vec<Word>, nprocs: usize) -> Self {
+    pub(crate) fn new(
+        params: MachineParams,
+        init_memory: Vec<Word>,
+        nprocs: usize,
+        tracer: Option<Arc<trace::Tracer>>,
+    ) -> Self {
         EngineShared {
-            core: Mutex::new(EngineCore::new(params, init_memory, nprocs)),
+            core: Mutex::new(EngineCore::new(params, init_memory, nprocs, tracer)),
             slots: (0..nprocs).map(|_| Slot::new()).collect(),
         }
     }

@@ -66,12 +66,36 @@ impl Latch {
 #[derive(Debug, Clone)]
 pub struct Machine {
     params: MachineParams,
+    tracer: Option<Arc<trace::Tracer>>,
 }
 
 impl Machine {
     /// Creates a machine with the given parameters (validated on first run).
     pub fn new(params: MachineParams) -> Self {
-        Machine { params }
+        Machine {
+            params,
+            tracer: None,
+        }
+    }
+
+    /// Attaches an event tracer: every run records sync events (spin waits,
+    /// futex parks/wakes, context switches, and whatever kernels report via
+    /// [`Proc::trace_event`]) into the tracer's per-processor rings.
+    ///
+    /// Recording is purely additive — the simulated schedule and every
+    /// metric are bit-identical with and without a tracer attached.
+    ///
+    /// The tracer must cover at least as many processors as the largest
+    /// `nprocs` passed to [`Machine::run`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<trace::Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<trace::Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The machine's parameters.
@@ -137,13 +161,20 @@ impl Machine {
             self.params.clone(),
             init_memory,
             nprocs,
+            self.tracer.clone(),
         ));
         let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
         // One processor's whole life: run the body, then tell the engine how
         // it ended. Never unwinds — the pool and the latch depend on that.
         let proc_main = |pid: usize| {
-            let mut proc = Proc::new(pid, nprocs, self.params.max_cycles, Arc::clone(&engine));
+            let mut proc = Proc::new(
+                pid,
+                nprocs,
+                self.params.max_cycles,
+                Arc::clone(&engine),
+                self.tracer.clone(),
+            );
             match catch_unwind(AssertUnwindSafe(|| body(&mut proc))) {
                 Ok(()) => proc.send_done(),
                 Err(payload) => {
@@ -197,6 +228,15 @@ impl Machine {
             return Err(err);
         }
         let (metrics, memory) = core.into_memory();
+        // A completed run must have woken every processor it ever parked:
+        // `futex_parks` counts park-side entries, `futex_woken` counts the
+        // waker-side dequeues, and an imbalance means a waiter finished the
+        // run while still in the futex queue (engine bookkeeping bug).
+        debug_assert_eq!(
+            metrics.futex_parks(),
+            metrics.futex_woken(),
+            "futex park/wake balance violated on a completed run"
+        );
         Ok(RunReport { metrics, memory })
     }
 }
@@ -223,6 +263,63 @@ mod tests {
 
     fn bus(n: usize) -> Machine {
         Machine::new(MachineParams::bus_1991(n))
+    }
+
+    /// Exercises futex park/wake and watchpoint spins: pids 1.. park until
+    /// pid 0 wakes them, then spin until pid 0's final store.
+    fn park_then_spin(p: &mut Proc) {
+        if p.pid() == 0 {
+            p.delay(200);
+            p.store(1, 1);
+            p.futex_wake(1, usize::MAX);
+            p.store(0, 1);
+        } else {
+            while p.futex_wait(1, 0) == 0 {}
+            p.spin_until(0, 1);
+        }
+    }
+
+    #[test]
+    fn tracer_records_without_changing_the_simulation() {
+        use trace::EventClass as C;
+        let base = bus(4).run(4, 2, park_then_spin).unwrap();
+        let tracer = trace::Tracer::full(4);
+        let traced = bus(4)
+            .with_tracer(Arc::clone(&tracer))
+            .run(4, 2, park_then_spin)
+            .unwrap();
+        // Purely additive: identical metrics, memory, and cycle counts.
+        assert_eq!(base.metrics, traced.metrics);
+        assert_eq!(base.memory, traced.memory);
+
+        // Every pid 1..4 parked exactly once (pid 0 delays past their
+        // first futex_wait probe), and every park has a wake and a resume.
+        assert_eq!(tracer.class_total(C::FutexPark), 3);
+        assert_eq!(tracer.class_total(C::FutexPark), traced.metrics.futex_parks());
+        assert_eq!(tracer.class_total(C::FutexWake), 3);
+        assert_eq!(tracer.class_total(C::FutexResume), 3);
+        assert_eq!(tracer.class_total(C::SpinBegin), tracer.class_total(C::SpinEnd));
+
+        // Per-processor streams are time-ordered (the Chrome exporter and
+        // the validator both rely on this).
+        for pid in 0..4 {
+            let evs = tracer.events(pid);
+            assert!(evs.windows(2).all(|w| w[0].t <= w[1].t), "p{pid} unordered");
+        }
+    }
+
+    #[test]
+    fn counters_mode_counts_without_storing() {
+        use trace::{EventClass, TraceMode, Tracer};
+        let tracer = Arc::new(Tracer::new(TraceMode::Counters, 4, 16));
+        bus(4)
+            .with_tracer(Arc::clone(&tracer))
+            .run(4, 2, park_then_spin)
+            .unwrap();
+        assert_eq!(tracer.class_total(EventClass::FutexPark), 3);
+        for pid in 0..4 {
+            assert!(tracer.events(pid).is_empty());
+        }
     }
 
     #[test]

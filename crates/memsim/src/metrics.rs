@@ -96,9 +96,26 @@ impl Metrics {
         self.per_proc.iter().map(|p| p.misses).sum()
     }
 
+    /// Sum of shared-to-modified upgrades across processors.
+    pub fn upgrades(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.upgrades).sum()
+    }
+
     /// Sum of watchpoint/futex wakeups across processors.
     pub fn wakeups(&self) -> u64 {
         self.per_proc.iter().map(|p| p.wakeups).sum()
+    }
+
+    /// Sum of cycles spent blocked in `spin_while` or parked in
+    /// `futex_wait` across processors.
+    pub fn spin_wait_cycles(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.spin_wait_cycles).sum()
+    }
+
+    /// Sum of scheduler core placements across processors; 0 on machines
+    /// without an oversubscription scheduler.
+    pub fn ctx_switches(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.ctx_switches).sum()
     }
 
     /// Sum of futex parks across processors.
@@ -151,6 +168,23 @@ mod tests {
         assert_eq!(m.hits(), 8);
         assert_eq!(m.misses(), 7);
         assert!((m.hit_rate() - 8.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_helpers_cover_scheduler_and_wait_counters() {
+        let mut m = Metrics::new(3);
+        m.per_proc[0].upgrades = 2;
+        m.per_proc[1].upgrades = 3;
+        m.per_proc[0].spin_wait_cycles = 100;
+        m.per_proc[2].spin_wait_cycles = 50;
+        m.per_proc[1].ctx_switches = 4;
+        m.per_proc[2].ctx_switches = 1;
+        m.per_proc[0].futex_parks = 2;
+        m.per_proc[1].futex_woken = 2;
+        assert_eq!(m.upgrades(), 5);
+        assert_eq!(m.spin_wait_cycles(), 150);
+        assert_eq!(m.ctx_switches(), 5);
+        assert_eq!(m.futex_parks(), m.futex_woken());
     }
 
     #[test]

@@ -54,12 +54,20 @@ pub struct Proc {
     engine: Arc<EngineShared>,
     /// Current spin budget before parking (adaptive, `0..=MAX_SPIN`).
     spin_budget: u32,
+    /// The machine's event recorder, when one is attached.
+    tracer: Option<Arc<trace::Tracer>>,
 }
 
 impl Proc {
     /// Creates the handle on the thread that will run the processor's body
     /// (the slot's consumer registration captures the current thread).
-    pub(crate) fn new(pid: usize, nprocs: usize, max_cycles: u64, engine: Arc<EngineShared>) -> Self {
+    pub(crate) fn new(
+        pid: usize,
+        nprocs: usize,
+        max_cycles: u64,
+        engine: Arc<EngineShared>,
+        tracer: Option<Arc<trace::Tracer>>,
+    ) -> Self {
         engine.slot(pid).register_consumer();
         Proc {
             pid,
@@ -68,6 +76,7 @@ impl Proc {
             max_cycles,
             engine,
             spin_budget: host_spin_cap(),
+            tracer,
         }
     }
 
@@ -125,6 +134,17 @@ impl Proc {
     /// This processor's local clock, in simulated cycles.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Records a trace event at the processor's current local clock — the
+    /// hook kernels and workloads use to report semantic events (lock
+    /// acquire/release via `kernels`' instrumented locks, barrier episode
+    /// boundaries). No-op unless the machine has a tracer attached; never
+    /// affects simulated time.
+    pub fn trace_event(&self, kind: trace::EventKind) {
+        if let Some(tr) = &self.tracer {
+            tr.record(self.pid, self.now, kind);
+        }
     }
 
     /// Reads a word.

@@ -91,9 +91,14 @@ pub fn futex_wait(word: &AtomicU64, expected: u64) -> bool {
         queue.push_back(Arc::clone(&waiter));
         waiter
     };
+    crate::trace_hooks::record(trace::EventKind::FutexPark { addr });
     while !waiter.woken.load(Ordering::Acquire) {
         thread::park();
     }
+    crate::trace_hooks::record(trace::EventKind::FutexResume {
+        addr,
+        waker: trace::NO_PID,
+    });
     true
 }
 
@@ -125,6 +130,10 @@ pub fn futex_wake_addr(addr: usize, n: usize) -> usize {
     // Unpark outside the bucket lock: an instantly-rescheduled wakee that
     // immediately parks again must not find the lock still held.
     for waiter in &woken {
+        crate::trace_hooks::record(trace::EventKind::FutexWake {
+            addr,
+            wakee: trace::NO_PID,
+        });
         waiter.woken.store(true, Ordering::Release);
         waiter.thread.unpark();
     }

@@ -39,6 +39,7 @@ pub mod barrier;
 pub mod event;
 pub mod futex;
 pub mod mutex;
+pub mod trace_hooks;
 
 pub use barrier::BlockingBarrier;
 pub use event::EventcountBlocking;

@@ -1,0 +1,255 @@
+//! Event tracing for the synchronization suite.
+//!
+//! The repo's figures report end-of-run totals; this crate records *what
+//! happened along the way* — lock acquires and handoffs, spin waits, futex
+//! parks and wakes, scheduler context switches, barrier episodes — into
+//! fixed-capacity per-processor rings ([`ring::EventRing`]) timestamped
+//! with the recording substrate's clock (simulated cycles on `memsim`,
+//! monotonic microseconds on real hardware).
+//!
+//! Three consumers sit on top:
+//!
+//! * [`histo`] — log-scaled wait/hold-time histograms per lock word
+//!   (feeds `table5_wait_distribution` and `fig10_wait_cdf`);
+//! * [`chrome`] — Chrome trace-event JSON export, one Perfetto track per
+//!   processor, with waker→wakee flow arrows (`bench_sim --trace-out`,
+//!   `interleave trace`);
+//! * per-class event counters, available even in the cheap `counters` mode.
+//!
+//! Tracing is opt-in and additive: a `memsim` run with no tracer attached
+//! (or mode `off`) executes the identical simulated schedule — recording
+//! never costs a simulated cycle, only host time, so every golden figure is
+//! byte-identical with tracing on or off. The environment knob is
+//! `SYNCMECH_TRACE=off|counters|full`, parsed strictly like the repo's
+//! other `SYNCMECH_*` knobs (garbage aborts with an actionable message
+//! rather than silently falling back).
+
+pub mod chrome;
+pub mod event;
+pub mod histo;
+pub mod ring;
+
+pub use event::{Event, EventClass, EventKind, NO_PID};
+pub use histo::Histogram;
+pub use ring::EventRing;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How much the tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing (the default).
+    #[default]
+    Off,
+    /// Per-class event counters only — no per-event storage.
+    Counters,
+    /// Counters plus the full per-processor event rings.
+    Full,
+}
+
+impl TraceMode {
+    /// Stable display name (the same spelling the env knob accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Counters => "counters",
+            TraceMode::Full => "full",
+        }
+    }
+}
+
+/// Parses a `SYNCMECH_TRACE` value. `None` (unset) means [`TraceMode::Off`].
+///
+/// # Errors
+///
+/// Anything other than `off`, `counters` or `full` is rejected with a
+/// message naming the knob and the accepted values — misspelling a mode
+/// must not silently disable tracing.
+pub fn mode_from(var: Option<&str>) -> Result<TraceMode, String> {
+    match var {
+        None => Ok(TraceMode::Off),
+        Some("off") => Ok(TraceMode::Off),
+        Some("counters") => Ok(TraceMode::Counters),
+        Some("full") => Ok(TraceMode::Full),
+        Some(other) => Err(format!(
+            "SYNCMECH_TRACE must be one of off|counters|full, got {other:?}"
+        )),
+    }
+}
+
+/// Reads `SYNCMECH_TRACE` from the environment, strictly.
+///
+/// # Panics
+///
+/// On an unrecognized value (see [`mode_from`]).
+pub fn mode_from_env() -> TraceMode {
+    let var = std::env::var("SYNCMECH_TRACE").ok();
+    match mode_from(var.as_deref()) {
+        Ok(mode) => mode,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+const N_CLASSES: usize = EventClass::ALL.len();
+
+struct CountSet([AtomicU64; N_CLASSES]);
+
+impl CountSet {
+    fn new() -> Self {
+        CountSet(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+/// The recorder handed to a machine, runtime, or workload: one event ring
+/// and one counter set per processor.
+///
+/// Cloning the `Arc` shares the recorder; all methods take `&self` (see
+/// [`ring::EventRing`] for the single-writer-per-ring discipline).
+pub struct Tracer {
+    mode: TraceMode,
+    rings: Vec<EventRing>,
+    counts: Vec<CountSet>,
+}
+
+impl Tracer {
+    /// Default per-processor ring capacity (events).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a tracer for `nprocs` processors with `capacity` events of
+    /// ring per processor (rings are only allocated in [`TraceMode::Full`]).
+    ///
+    /// # Panics
+    ///
+    /// If `nprocs` or `capacity` is zero.
+    pub fn new(mode: TraceMode, nprocs: usize, capacity: usize) -> Self {
+        assert!(nprocs > 0, "Tracer needs at least one processor");
+        let ring_cap = if mode == TraceMode::Full { capacity } else { 1 };
+        Tracer {
+            mode,
+            rings: (0..nprocs).map(|_| EventRing::new(ring_cap)).collect(),
+            counts: (0..nprocs).map(|_| CountSet::new()).collect(),
+        }
+    }
+
+    /// A full-mode tracer with the default capacity, ready to share.
+    pub fn full(nprocs: usize) -> Arc<Self> {
+        Arc::new(Tracer::new(TraceMode::Full, nprocs, Self::DEFAULT_CAPACITY))
+    }
+
+    /// Builds a tracer from the `SYNCMECH_TRACE` environment knob; `None`
+    /// when tracing is off (so callers skip attaching entirely).
+    ///
+    /// # Panics
+    ///
+    /// On an unrecognized `SYNCMECH_TRACE` value.
+    pub fn from_env(nprocs: usize) -> Option<Arc<Self>> {
+        match mode_from_env() {
+            TraceMode::Off => None,
+            mode => Some(Arc::new(Tracer::new(mode, nprocs, Self::DEFAULT_CAPACITY))),
+        }
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Number of per-processor rings.
+    pub fn nprocs(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// True when per-event records are being kept.
+    pub fn is_full(&self) -> bool {
+        self.mode == TraceMode::Full
+    }
+
+    /// Records one event for `pid` at time `t`. No-op in [`TraceMode::Off`];
+    /// counter-only in [`TraceMode::Counters`].
+    pub fn record(&self, pid: usize, t: u64, kind: EventKind) {
+        match self.mode {
+            TraceMode::Off => return,
+            TraceMode::Counters => {}
+            TraceMode::Full => self.rings[pid].push(Event { t, kind }),
+        }
+        self.counts[pid].0[kind.class().index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retained events for `pid`, oldest first (empty unless full mode).
+    /// Call after the traced run has quiesced.
+    pub fn events(&self, pid: usize) -> Vec<Event> {
+        self.rings[pid].snapshot()
+    }
+
+    /// Events lost to ring overwrite for `pid`.
+    pub fn dropped(&self, pid: usize) -> usize {
+        self.rings[pid].dropped()
+    }
+
+    /// Per-processor count of events in `class`.
+    pub fn count(&self, pid: usize, class: EventClass) -> u64 {
+        self.counts[pid].0[class.index()].load(Ordering::Relaxed)
+    }
+
+    /// Machine-wide count of events in `class`.
+    pub fn class_total(&self, class: EventClass) -> u64 {
+        (0..self.nprocs()).map(|pid| self.count(pid, class)).sum()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("mode", &self.mode)
+            .field("nprocs", &self.nprocs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_is_strict() {
+        assert_eq!(mode_from(None), Ok(TraceMode::Off));
+        assert_eq!(mode_from(Some("off")), Ok(TraceMode::Off));
+        assert_eq!(mode_from(Some("counters")), Ok(TraceMode::Counters));
+        assert_eq!(mode_from(Some("full")), Ok(TraceMode::Full));
+        for bad in ["", "Full", "on", "1", "trace"] {
+            let err = mode_from(Some(bad)).unwrap_err();
+            assert!(err.contains("off|counters|full"), "{err}");
+        }
+    }
+
+    #[test]
+    fn full_mode_stores_events_and_counts() {
+        let t = Tracer::new(TraceMode::Full, 2, 16);
+        t.record(0, 5, EventKind::FutexPark { addr: 9 });
+        t.record(1, 7, EventKind::FutexWake { addr: 9, wakee: 0 });
+        assert_eq!(t.events(0).len(), 1);
+        assert_eq!(t.events(0)[0].t, 5);
+        assert_eq!(t.count(0, EventClass::FutexPark), 1);
+        assert_eq!(t.class_total(EventClass::FutexWake), 1);
+        assert_eq!(t.dropped(0), 0);
+    }
+
+    #[test]
+    fn counters_mode_keeps_no_events() {
+        let t = Tracer::new(TraceMode::Counters, 1, 16);
+        for i in 0..100 {
+            t.record(0, i, EventKind::CtxSwitchIn);
+        }
+        assert!(t.events(0).is_empty());
+        assert_eq!(t.count(0, EventClass::CtxSwitchIn), 100);
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let t = Tracer::new(TraceMode::Off, 1, 16);
+        t.record(0, 1, EventKind::CtxSwitchIn);
+        assert!(t.events(0).is_empty());
+        assert_eq!(t.count(0, EventClass::CtxSwitchIn), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! A fixed-capacity, single-writer event ring.
+//!
+//! The recorder must never perturb what it observes: a push is two plain
+//! slot writes and one atomic store, with no allocation, locking, or
+//! branching on occupancy — when the ring is full the oldest event is
+//! overwritten and a drop counter (derivable from the monotonic push count)
+//! says how many were lost.
+//!
+//! # Writer discipline
+//!
+//! Each ring has **one logical writer at a time**, with writer handoffs
+//! synchronized externally. In the simulator that discipline is structural:
+//! the engine appends to processor `p`'s ring only while `p` is blocked
+//! awaiting a reply (engine threads are serialized by the engine mutex),
+//! and `p` itself appends only between roundtrips; the reply slot's
+//! release/acquire pair orders each handoff. Readers call
+//! [`EventRing::snapshot`] only after the run has quiesced (threads
+//! joined), so they never race a writer.
+
+use crate::event::Event;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fixed-capacity overwrite-oldest ring of [`Event`]s.
+pub struct EventRing {
+    slots: Box<[UnsafeCell<Event>]>,
+    /// Monotonic number of pushes ever performed (not clamped to capacity).
+    pushed: AtomicUsize,
+}
+
+// SAFETY: see the module-level writer discipline. Slot cells are written by
+// exactly one thread at a time with handoffs ordered by external
+// synchronization, and read only after all writers have quiesced.
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "EventRing capacity must be nonzero");
+        EventRing {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(Event::default()))
+                .collect(),
+            pushed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full. Wait-free.
+    pub fn push(&self, ev: Event) {
+        let n = self.pushed.load(Ordering::Relaxed);
+        let slot = &self.slots[n % self.slots.len()];
+        // SAFETY: single writer (module discipline); no reader is active
+        // while a writer exists.
+        unsafe { *slot.get() = ev };
+        self.pushed.store(n + 1, Ordering::Release);
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn pushed(&self) -> usize {
+        self.pushed.load(Ordering::Acquire)
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.pushed().min(self.capacity())
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pushed() == 0
+    }
+
+    /// Events lost to overwriting.
+    pub fn dropped(&self) -> usize {
+        self.pushed().saturating_sub(self.capacity())
+    }
+
+    /// The retained events, oldest first. Call only after writers quiesce.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let n = self.pushed();
+        let cap = self.capacity();
+        let start = n.saturating_sub(cap);
+        (start..n)
+            // SAFETY: all writers have quiesced (module discipline), so the
+            // cells are stable.
+            .map(|i| unsafe { *self.slots[i % cap].get() })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            t,
+            kind: EventKind::SpinBegin { addr: t as usize },
+        }
+    }
+
+    #[test]
+    fn retains_in_order_below_capacity() {
+        let ring = EventRing::new(8);
+        assert!(ring.is_empty());
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        let got: Vec<u64> = ring.snapshot().iter().map(|e| e.t).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = EventRing::new(4);
+        for t in 0..10 {
+            ring.push(ev(t));
+        }
+        let got: Vec<u64> = ring.snapshot().iter().map(|e| e.t).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::new(0);
+    }
+}

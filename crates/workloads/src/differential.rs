@@ -273,13 +273,22 @@ fn memsim_backend(
     cfg: &DiffConfig,
 ) -> BackendOutcome {
     match counter_trial(&machine, &**lock, cfg.nthreads, cfg.iters, cfg.hold) {
-        Ok((count, report)) => BackendOutcome {
-            backend: name,
-            counter: Some(count),
-            futex_parks: Some(report.metrics.futex_parks()),
-            futex_woken: Some(report.metrics.futex_woken()),
-            failure: None,
-        },
+        Ok((count, report)) => {
+            // A completed run must have woken every parked waiter; an
+            // imbalance here is a substrate bug, not a lock bug.
+            assert_eq!(
+                report.metrics.futex_parks(),
+                report.metrics.futex_woken(),
+                "{name}: futex park/wake imbalance on a completed run"
+            );
+            BackendOutcome {
+                backend: name,
+                counter: Some(count),
+                futex_parks: Some(report.metrics.futex_parks()),
+                futex_woken: Some(report.metrics.futex_woken()),
+                failure: None,
+            }
+        }
         Err(e) => BackendOutcome {
             backend: name,
             counter: None,
@@ -401,6 +410,9 @@ fn real_threads_backend(
     lock: &Arc<dyn LockKernel + Send + Sync>,
     cfg: &DiffConfig,
 ) -> BackendOutcome {
+    // Honour SYNCMECH_TRACE for the real-thread park/wake path (no-op when
+    // the knob is off or a tracer is already installed).
+    parking::trace_hooks::init_from_env();
     let (fix, init) = fixture(&**lock, cfg.nthreads, 8, 1);
     let counter = fix.scratch.slot(0);
     let mem: Arc<Vec<AtomicU64>> = Arc::new(init.into_iter().map(AtomicU64::new).collect());

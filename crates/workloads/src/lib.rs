@@ -19,6 +19,8 @@
 //! * [`differential`] — the cross-backend differential harness: the same
 //!   lock workload on the interleave fuzzer, both simulator machines, and
 //!   real threads, with the outcomes compared.
+//! * [`waitdist`] — the traced wait/hold-time distribution workload behind
+//!   table5 and fig10, built on the `trace` crate's event recorder.
 
 pub mod barrierbench;
 pub mod csbench;
@@ -28,3 +30,4 @@ pub mod oversub;
 pub mod realhw;
 pub mod rwbench;
 pub mod sweeps;
+pub mod waitdist;

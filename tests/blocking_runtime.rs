@@ -93,6 +93,25 @@ fn eventcount_advance_and_await_survive_wraparound() {
 }
 
 #[test]
+fn simulated_blocking_run_balances_parks_and_wakes() {
+    // Machine-wide futex accounting: a completed run must have woken every
+    // parked waiter. The engine debug_asserts this at teardown; this is
+    // the explicit release-mode check on the configuration that parks the
+    // most (always-park QSM, 2 threads per simulated core).
+    let lock = kernels::locks::lock_by_name("qsm-block-park").unwrap();
+    let (nprocs, cores) = (8, 4);
+    let machine = workloads::oversub::oversub_machine(nprocs, cores);
+    let (count, report) =
+        kernels::locks::counter_trial(&machine, &*lock, nprocs, 4, 10).unwrap();
+    assert_eq!(count, (nprocs * 4) as u64);
+    assert!(
+        report.metrics.futex_parks() > 0,
+        "always-park lock never parked; the check is vacuous"
+    );
+    assert_eq!(report.metrics.futex_parks(), report.metrics.futex_woken());
+}
+
+#[test]
 fn blocking_mutex_counts_correctly_oversubscribed() {
     // More threads than host cores: the configuration the park path is
     // for. A lost wakeup here shows up as a hang (caught by test timeout).
