@@ -23,8 +23,10 @@
 
 use interleave::fuzz::{self, Fuzzer, Strategy};
 use interleave::harness::{barrier_program, check_barrier, check_lock, check_lock_bypass};
+use interleave::harness::{check_barrier_parallel, check_lock_parallel};
 use interleave::harness::{fuzz_barrier, fuzz_lock, lock_program};
-use interleave::{Explorer, OpKind, Program, Replay, ReplayEnd, Stats, Verdict};
+use interleave::{dpor_workers_from, DporMode, Explorer, OpKind, Program, Replay, ReplayEnd};
+use interleave::{Stats, Verdict};
 use kernels::barriers::{all_barriers, barrier_by_name};
 use kernels::lockdep::InstrumentedLock;
 use kernels::locks::{all_locks, lock_by_name, LockKernel};
@@ -54,7 +56,13 @@ options:
   --max-steps N     per-run step limit
   --max-runs N      run budget
   --bypass-bound K  fail schedules that bypass a waiter more than K times
-  --no-reduction    disable sleep-set partial-order reduction
+  --dpor MODE       partial-order reduction: none | sleep | source | tree
+                    (default: source when exhaustive, sleep when bounded)
+  --workers N       parallel exploration workers for check (default:
+                    SYNCMECH_DPOR_WORKERS or 1); the verdict and stats are
+                    worker-count independent. Starvation checks
+                    (--bypass-bound) always explore serially.
+  --no-reduction    disable partial-order reduction entirely
 
 fuzz options:
   --seed N          campaign seed (default: SYNCMECH_FUZZ_SEED or 1991)
@@ -84,6 +92,8 @@ struct Args {
     max_steps: Option<usize>,
     max_runs: Option<usize>,
     bypass_bound: Option<usize>,
+    dpor: Option<DporMode>,
+    workers: Option<usize>,
     no_reduction: bool,
     schedule: Option<Vec<usize>>,
     seed: Option<u64>,
@@ -109,6 +119,8 @@ fn parse_args() -> Args {
         max_steps: None,
         max_runs: None,
         bypass_bound: None,
+        dpor: None,
+        workers: None,
         no_reduction: false,
         schedule: None,
         seed: None,
@@ -153,6 +165,24 @@ fn parse_args() -> Args {
             "--max-steps" => args.max_steps = Some(num(&mut it, "--max-steps")),
             "--max-runs" => args.max_runs = Some(num(&mut it, "--max-runs")),
             "--bypass-bound" => args.bypass_bound = Some(num(&mut it, "--bypass-bound")),
+            "--dpor" => {
+                let spec: String = num(&mut it, "--dpor");
+                match DporMode::parse(&spec) {
+                    Ok(m) => args.dpor = Some(m),
+                    Err(msg) => {
+                        eprintln!("--dpor: {msg}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--workers" => {
+                let n: usize = num(&mut it, "--workers");
+                if n == 0 {
+                    eprintln!("--workers: parallel exploration needs at least one worker");
+                    std::process::exit(2);
+                }
+                args.workers = Some(n);
+            }
             "--no-reduction" => args.no_reduction = true,
             "--schedule" => {
                 let spec: String = num(&mut it, "--schedule");
@@ -197,6 +227,9 @@ fn explorer_from(args: &Args) -> Explorer {
     if let Some(r) = args.max_runs {
         e = e.with_max_runs(r);
     }
+    if let Some(mode) = args.dpor {
+        e = e.with_dpor(mode);
+    }
     if args.no_reduction {
         e = e.without_reduction();
     }
@@ -208,10 +241,13 @@ fn explorer_from(args: &Args) -> Explorer {
 
 fn render_stats(s: Stats) {
     println!(
-        "runs {} (step-limit pruned {}, sleep-set pruned {}), max depth {}, {}",
+        "runs {} (step-limit pruned {}, sleep-set pruned {}, dpor pruned {}, \
+         wakeup-tree nodes {}), max depth {}, {}",
         s.runs,
         s.pruned,
         s.sleep_pruned,
+        s.dpor_pruned,
+        s.wakeup_tree_nodes,
         s.max_depth,
         if s.complete {
             "search complete"
@@ -251,6 +287,22 @@ fn build_program(args: &Args) -> Program {
 
 fn run_check(args: &Args) -> ExitCode {
     let explorer = explorer_from(args);
+    // An explicit worker count — even 1 — selects the fan-out-based
+    // parallel algorithm, whose stats are byte-identical for every
+    // worker count (but differ from the plain serial DFS, which only
+    // runs when no count was requested at all).
+    let env_workers = std::env::var("SYNCMECH_DPOR_WORKERS").ok();
+    let workers = match (args.workers, env_workers) {
+        (Some(n), _) => Some(n),
+        (None, var @ Some(_)) => {
+            let n = dpor_workers_from(var.as_deref()).unwrap_or_else(|msg| {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            });
+            Some(n)
+        }
+        (None, None) => None,
+    };
     let (verdict, target_spec) = match args.target.as_ref().unwrap_or_else(|| usage()) {
         Target::Lock(name) => {
             let lock: Arc<_> = lock_by_name(name)
@@ -259,9 +311,16 @@ fn run_check(args: &Args) -> ExitCode {
                     std::process::exit(2);
                 })
                 .into();
-            let v = match args.bypass_bound {
-                Some(bound) => check_lock_bypass(lock, args.threads, args.iters, bound, explorer),
-                None => check_lock(lock, args.threads, args.iters, explorer),
+            let v = match (args.bypass_bound, workers) {
+                // Bypass accounting forces reduction off and stays
+                // serial: overtaking counts are not trace-invariant.
+                (Some(bound), _) => {
+                    check_lock_bypass(lock, args.threads, args.iters, bound, explorer)
+                }
+                (None, None) => check_lock(lock, args.threads, args.iters, explorer),
+                (None, Some(w)) => {
+                    check_lock_parallel(lock, args.threads, args.iters, explorer, w)
+                }
             };
             (v, format!("lock:{name}"))
         }
@@ -272,10 +331,13 @@ fn run_check(args: &Args) -> ExitCode {
                     std::process::exit(2);
                 })
                 .into();
-            (
-                check_barrier(barrier, args.threads, args.episodes, explorer),
-                format!("barrier:{name}"),
-            )
+            let v = match workers {
+                None => check_barrier(barrier, args.threads, args.episodes, explorer),
+                Some(w) => {
+                    check_barrier_parallel(barrier, args.threads, args.episodes, explorer, w)
+                }
+            };
+            (v, format!("barrier:{name}"))
         }
     };
     render_stats(verdict.stats());

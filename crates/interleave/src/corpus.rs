@@ -1,0 +1,451 @@
+//! Checked-in corpus of fuzzer-shrunk counterexamples.
+//!
+//! The nightly fuzz job finds bugs the exhaustive explorer would need
+//! hours for; [`crate::fuzz::shrink_schedule`] then reduces each failing
+//! schedule to a few steps. This module turns those artifacts into
+//! regressions: a **named registry** of the seeded-bug programs the fuzzer
+//! runs against ([`corpus_program`]), a tiny **text format** for one
+//! shrunk counterexample ([`CorpusEntry`]), and the **verdict classes**
+//! ([`VerdictClass`]) that entries are checked against — first by replay
+//! (the schedule must still reproduce the class) and then by an
+//! exhaustive re-check (the bug must still be reachable by search alone).
+//! The files live in `tests/shrunk_corpus/` at the workspace root; the
+//! loader test there runs the whole directory.
+//!
+//! The entry format is line-oriented, `#` comments allowed:
+//!
+//! ```text
+//! # lost wakeup found by seed 1991, shrunk from 213 steps
+//! program: wake-before-publish
+//! schedule: 1,0,0,1
+//! verdict: lost-wakeup
+//! ```
+
+use crate::explorer::{ReplayEnd, Verdict};
+use crate::program::Program;
+use kernels::locks::LockKernel;
+use kernels::{Region, SyncCtx, Word};
+use std::sync::Arc;
+
+/// The class of a [`Verdict`] or [`ReplayEnd`], without the run-specific
+/// payload (schedule, stats, sites): what a corpus entry pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictClass {
+    /// No violation observed.
+    Pass,
+    /// Final-state check failed or an in-program assertion fired.
+    Violation,
+    /// Data race between unsynchronized accesses.
+    Race,
+    /// All threads stuck with at least one spinner.
+    Deadlock,
+    /// All stuck threads are futex-parked.
+    LostWakeup,
+    /// A waiter bypassed beyond the configured bound.
+    Starvation,
+}
+
+impl VerdictClass {
+    /// Classifies a search verdict.
+    pub fn of(v: &Verdict) -> VerdictClass {
+        match v {
+            Verdict::Passed(_) => VerdictClass::Pass,
+            Verdict::Violation { .. } => VerdictClass::Violation,
+            Verdict::Race { .. } => VerdictClass::Race,
+            Verdict::Deadlock { .. } => VerdictClass::Deadlock,
+            Verdict::LostWakeup { .. } => VerdictClass::LostWakeup,
+            Verdict::Starvation { .. } => VerdictClass::Starvation,
+        }
+    }
+
+    /// Classifies a replay ending. `Complete`, `StepLimit` and `Diverged`
+    /// all map to [`VerdictClass::Pass`] — no violation was reproduced —
+    /// so a stale corpus schedule fails its class assertion rather than
+    /// silently passing.
+    pub fn of_replay(end: &ReplayEnd) -> VerdictClass {
+        match end {
+            ReplayEnd::Complete(_) | ReplayEnd::StepLimit | ReplayEnd::Diverged { .. } => {
+                VerdictClass::Pass
+            }
+            ReplayEnd::Panic(_) => VerdictClass::Violation,
+            ReplayEnd::Race(_) => VerdictClass::Race,
+            ReplayEnd::Deadlock(_) => VerdictClass::Deadlock,
+            ReplayEnd::LostWakeup(_) => VerdictClass::LostWakeup,
+            ReplayEnd::Starvation(_) => VerdictClass::Starvation,
+        }
+    }
+
+    /// Classifies a replay ending *with* the program's final-state check:
+    /// a completed run whose memory fails the check is a
+    /// [`VerdictClass::Violation`], exactly as [`crate::Explorer::check`]
+    /// would report it. Replay alone cannot see final-state violations —
+    /// it has no check to run — so corpus validation goes through here.
+    pub fn of_checked_replay(
+        end: &ReplayEnd,
+        check: fn(&[Word]) -> Result<(), String>,
+    ) -> VerdictClass {
+        match end {
+            ReplayEnd::Complete(mem) => match check(mem) {
+                Ok(()) => VerdictClass::Pass,
+                Err(_) => VerdictClass::Violation,
+            },
+            other => VerdictClass::of_replay(other),
+        }
+    }
+
+    /// The stable on-disk name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictClass::Pass => "pass",
+            VerdictClass::Violation => "violation",
+            VerdictClass::Race => "race",
+            VerdictClass::Deadlock => "deadlock",
+            VerdictClass::LostWakeup => "lost-wakeup",
+            VerdictClass::Starvation => "starvation",
+        }
+    }
+
+    /// Parses [`VerdictClass::name`] back.
+    pub fn parse(s: &str) -> Result<VerdictClass, String> {
+        match s {
+            "pass" => Ok(VerdictClass::Pass),
+            "violation" => Ok(VerdictClass::Violation),
+            "race" => Ok(VerdictClass::Race),
+            "deadlock" => Ok(VerdictClass::Deadlock),
+            "lost-wakeup" => Ok(VerdictClass::LostWakeup),
+            "starvation" => Ok(VerdictClass::Starvation),
+            other => Err(format!(
+                "unknown verdict class {other:?}; expected pass | violation | race | \
+                 deadlock | lost-wakeup | starvation"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for VerdictClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One checked-in counterexample: a registry program, a (shrunk) schedule,
+/// and the verdict class both replay and exhaustive re-check must hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Name resolvable by [`corpus_program`].
+    pub program: String,
+    /// The shrunk failing schedule.
+    pub schedule: Vec<usize>,
+    /// Expected violation class.
+    pub verdict: VerdictClass,
+}
+
+impl CorpusEntry {
+    /// Parses the text format described in the module docs.
+    pub fn parse(text: &str) -> Result<CorpusEntry, String> {
+        let mut program = None;
+        let mut schedule = None;
+        let mut verdict = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: expected `key: value`, got {line:?}", lineno + 1))?;
+            let value = value.trim();
+            match key.trim() {
+                "program" => program = Some(value.to_string()),
+                // An empty schedule is legal: some bugs fire under the
+                // default continuation policy with no forced prefix at
+                // all, and shrinking is allowed to get there.
+                "schedule" if value.is_empty() => schedule = Some(Vec::new()),
+                "schedule" => {
+                    let parsed: Result<Vec<usize>, _> =
+                        value.split(',').map(|s| s.trim().parse()).collect();
+                    schedule = Some(parsed.map_err(|_| {
+                        format!("line {}: bad schedule {value:?}", lineno + 1)
+                    })?);
+                }
+                "verdict" => verdict = Some(VerdictClass::parse(value)?),
+                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            }
+        }
+        Ok(CorpusEntry {
+            program: program.ok_or("missing `program:` line")?,
+            schedule: schedule.ok_or("missing `schedule:` line")?,
+            verdict: verdict.ok_or("missing `verdict:` line")?,
+        })
+    }
+
+    /// Renders the entry back to its text format, with an optional leading
+    /// `#` comment (provenance: seed, original length, replays spent).
+    pub fn render(&self, comment: &str) -> String {
+        let sched: Vec<String> = self.schedule.iter().map(|p| p.to_string()).collect();
+        let mut out = String::new();
+        for line in comment.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!("program: {}\n", self.program));
+        out.push_str(&format!("schedule: {}\n", sched.join(",")));
+        out.push_str(&format!("verdict: {}\n", self.verdict));
+        out
+    }
+}
+
+/// A QSM-style blocking lock with the classic **wake-before-advance**
+/// release: tickets are taken with a fetch-add, waiters park on the grant
+/// word, and release fires its wake *before* publishing the new grant.
+/// A waiter that read the stale grant can park right between the wake and
+/// the advance — asleep forever with the lock free. The `fixed` variant
+/// advances first, which the waiter's compare-and-block makes airtight.
+///
+/// This is the seeded-bug twin of `kernels::locks::qsm_blocking`: same
+/// grant/eventcount handoff shape as the paper's QSM, reduced to the two
+/// words the bug needs so 3- and 4-thread programs stay exhaustively
+/// checkable.
+#[derive(Debug)]
+pub struct BlockingGrantLock {
+    /// Advance-then-wake (correct) or wake-then-advance (seeded bug).
+    pub fixed: bool,
+}
+
+impl LockKernel for BlockingGrantLock {
+    fn name(&self) -> &'static str {
+        if self.fixed {
+            "blocking-grant"
+        } else {
+            "blocking-grant-wake-first"
+        }
+    }
+    fn lines_needed(&self, _nprocs: usize) -> usize {
+        1 // one line: ticket word + grant word
+    }
+    fn acquire(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64) -> u64 {
+        let ticket = region.slot(0);
+        let grant = region.slot(0) + 1;
+        let me = ctx.fetch_add(ticket, 1);
+        loop {
+            let cur = ctx.load(grant);
+            if cur == me {
+                break;
+            }
+            ctx.futex_wait(grant, cur);
+        }
+        me
+    }
+    fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64, token: u64) {
+        let grant = region.slot(0) + 1;
+        if self.fixed {
+            ctx.store(grant, token + 1);
+            ctx.futex_wake(grant, usize::MAX);
+        } else {
+            ctx.futex_wake(grant, usize::MAX); // bug: wake fires first...
+            ctx.store(grant, token + 1); // ...waiters park in the window.
+        }
+    }
+}
+
+/// An eventcount advance across the `u64` wrap (count starts at
+/// `u64::MAX`): awaiters compare by **signed distance**, so the wrapped
+/// target `0` still reads as "reached". The broken variant advances
+/// without waking — the missed-advance bug at the worst possible count.
+pub fn eventcount_wrap_program(nthreads: usize, fixed: bool) -> Program {
+    assert!(nthreads >= 2, "need at least one awaiter and the advancer");
+    Program::new(nthreads, 1, move |ctx| {
+        if ctx.pid() < ctx.nprocs() - 1 {
+            // await_at_least(0), i.e. MAX + 1 with wraparound.
+            loop {
+                let cur = ctx.load(0);
+                if cur.wrapping_sub(0) as i64 >= 0 {
+                    break;
+                }
+                ctx.futex_wait(0, cur);
+            }
+        } else {
+            ctx.fetch_add(0, 1); // MAX -> 0: the wrap itself is fine...
+            if fixed {
+                ctx.futex_wake(0, usize::MAX); // ...forgetting this is not.
+            }
+        }
+    })
+    .with_init(vec![(0, u64::MAX)])
+}
+
+/// The mutual-exclusion workload over [`BlockingGrantLock`], exactly as
+/// [`crate::harness::lock_program`] builds it.
+pub fn blocking_grant_program(nthreads: usize, iters: usize, fixed: bool) -> Program {
+    crate::harness::lock_program(Arc::new(BlockingGrantLock { fixed }), nthreads, iters)
+}
+
+/// Resolves a corpus program name to the program plus its final-state
+/// check. Names are stable — corpus files refer to them — and each is a
+/// seeded-bug (or deliberately racy) build the fuzzer and the exhaustive
+/// explorer must both catch.
+#[allow(clippy::type_complexity)]
+pub fn corpus_program(name: &str) -> Option<(Program, fn(&[Word]) -> Result<(), String>)> {
+    fn pass(_mem: &[Word]) -> Result<(), String> {
+        Ok(())
+    }
+    /// Final check for the 2-thread lock workloads: counter (last word)
+    /// must equal the number of critical sections.
+    fn counter_is_2(mem: &[Word]) -> Result<(), String> {
+        let c = mem[mem.len() - 1];
+        if c == 2 {
+            Ok(())
+        } else {
+            Err(format!("critical sections lost: counter {c} != 2"))
+        }
+    }
+    fn sum_is_2(mem: &[Word]) -> Result<(), String> {
+        if mem[0] == 2 {
+            Ok(())
+        } else {
+            Err(format!("lost update: {} != 2", mem[0]))
+        }
+    }
+    match name {
+        // Two threads increment with separate load/store: some schedule
+        // loses an update (final-state violation).
+        "lost-update" => Some((
+            Program::new(2, 1, |ctx| {
+                let v = ctx.load(0);
+                ctx.store(0, v + 1);
+            }),
+            sum_is_2,
+        )),
+        // Observe-then-claim lock: the window between the check and the
+        // set admits two owners; the CS counter accesses race.
+        "check-then-set" => Some((
+            crate::harness::lock_program(Arc::new(CheckThenSetLock), 2, 1),
+            counter_is_2,
+        )),
+        // Futex wake fired before the flag is published.
+        "wake-before-publish" => Some((
+            Program::new(2, 1, |ctx| {
+                if ctx.pid() == 0 {
+                    let mut cur = ctx.load(0);
+                    while cur == 0 {
+                        cur = ctx.futex_wait(0, cur);
+                    }
+                } else {
+                    ctx.futex_wake(0, usize::MAX);
+                    ctx.store(0, 1);
+                }
+            }),
+            pass,
+        )),
+        // Blocking QSM-style lock whose release wakes before advancing.
+        "blocking-grant-wake-first-3" => Some((blocking_grant_program(3, 1, false), pass)),
+        "blocking-grant-wake-first-4" => Some((blocking_grant_program(4, 1, false), pass)),
+        // Eventcount wraparound advance that forgets its wake.
+        "eventcount-wrap-missed-wake-3" => Some((eventcount_wrap_program(3, false), pass)),
+        "eventcount-wrap-missed-wake-4" => Some((eventcount_wrap_program(4, false), pass)),
+        _ => None,
+    }
+}
+
+/// Every registry name, for directory-level tests and regeneration.
+pub fn corpus_program_names() -> &'static [&'static str] {
+    &[
+        "lost-update",
+        "check-then-set",
+        "wake-before-publish",
+        "blocking-grant-wake-first-3",
+        "blocking-grant-wake-first-4",
+        "eventcount-wrap-missed-wake-3",
+        "eventcount-wrap-missed-wake-4",
+    ]
+}
+
+/// Observe-then-claim lock (the classic missing-atomicity bug), kept here
+/// so corpus files can name it.
+#[derive(Debug)]
+struct CheckThenSetLock;
+
+impl LockKernel for CheckThenSetLock {
+    fn name(&self) -> &'static str {
+        "check-then-set"
+    }
+    fn lines_needed(&self, _nprocs: usize) -> usize {
+        1
+    }
+    fn acquire(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64) -> u64 {
+        let word = region.slot(0);
+        ctx.spin_until(word, 0);
+        ctx.store(word, 1);
+        0
+    }
+    fn release(&self, ctx: &mut dyn SyncCtx, region: &Region, _ps: &mut u64, _token: u64) {
+        ctx.store(region.slot(0), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_round_trips_through_text() {
+        let entry = CorpusEntry {
+            program: "wake-before-publish".into(),
+            schedule: vec![1, 0, 0, 1],
+            verdict: VerdictClass::LostWakeup,
+        };
+        let text = entry.render("seed 1991, shrunk 213 -> 4 steps");
+        assert!(text.starts_with("# seed 1991"));
+        assert_eq!(CorpusEntry::parse(&text), Ok(entry));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(CorpusEntry::parse("").is_err());
+        assert!(CorpusEntry::parse("program: x\nschedule: 0,1\n").is_err());
+        assert!(CorpusEntry::parse("program: x\nschedule: a,b\nverdict: race\n").is_err());
+        assert!(CorpusEntry::parse("program: x\nschedule: 0\nverdict: fast\n").is_err());
+        assert!(CorpusEntry::parse("program: x\nschedule: 0\nverdict: race\nbogus: 1\n").is_err());
+    }
+
+    #[test]
+    fn every_registry_name_resolves() {
+        for name in corpus_program_names() {
+            assert!(corpus_program(name).is_some(), "{name} must resolve");
+        }
+        assert!(corpus_program("no-such-program").is_none());
+    }
+
+    #[test]
+    fn verdict_class_names_round_trip() {
+        for class in [
+            VerdictClass::Pass,
+            VerdictClass::Violation,
+            VerdictClass::Race,
+            VerdictClass::Deadlock,
+            VerdictClass::LostWakeup,
+            VerdictClass::Starvation,
+        ] {
+            assert_eq!(VerdictClass::parse(class.name()), Ok(class));
+        }
+    }
+
+    #[test]
+    fn fixed_blocking_grant_lock_is_clean_for_two_threads() {
+        let v = crate::harness::check_lock(
+            Arc::new(BlockingGrantLock { fixed: true }),
+            2,
+            1,
+            crate::explorer::Explorer::exhaustive(),
+        );
+        v.expect_pass("blocking-grant 2x1");
+    }
+
+    #[test]
+    fn wake_first_release_loses_a_wakeup() {
+        let (program, check) = corpus_program("blocking-grant-wake-first-3").unwrap();
+        let v = crate::explorer::Explorer::exhaustive().check(&program, check);
+        assert_eq!(VerdictClass::of(&v), VerdictClass::LostWakeup, "{v:?}");
+    }
+}

@@ -13,20 +13,101 @@
 //!   runs in which a waiter is bypassed more often than a configured bound
 //!   ([`Explorer::with_bypass_bound`]).
 //!
-//! Exploration itself is pruned with **sleep sets** (Godefroid): when a
-//! branch at some state has been fully explored, the chosen thread is put
-//! to sleep in the sibling branches and stays asleep until another thread
-//! performs an operation *dependent* on its pending one. A state whose
-//! enabled threads are all asleep need not be explored further — every
-//! continuation from it is a reordering of independent operations already
-//! covered. Sleep sets preserve all Mazurkiewicz traces, hence all safety
-//! violations and deadlocks, while typically cutting run counts by large
-//! factors ([`Stats::sleep_pruned`] counts the cut-off executions;
-//! [`Explorer::without_reduction`] turns the pruning off for comparison).
+//! Exploration is pruned by **dynamic partial-order reduction**, in one of
+//! three cumulative strengths ([`DporMode`]):
+//!
+//! * **sleep sets** (Godefroid): when a branch at some state has been
+//!   fully explored, the chosen thread is put to sleep in the sibling
+//!   branches and stays asleep until another thread performs an operation
+//!   *dependent* on its pending one. A state whose enabled threads are all
+//!   asleep need not be explored further — every continuation from it is a
+//!   reordering of independent operations already covered
+//!   ([`Stats::sleep_pruned`] counts the cut-off executions). Sleep sets
+//!   prune *subtrees already covered*, but still branch on every eligible
+//!   sibling first.
+//! * **source sets** (Abdulla, Aronis, Jonsson & Sagonas): instead of
+//!   branching on every eligible sibling, each executed run is analysed
+//!   with dependence-order vector clocks ([`crate::race`]); only when two
+//!   dependent steps turn out to be *unordered* (a reversible race) is a
+//!   backtrack point planted at the earlier step, and only for a thread
+//!   that can actually start the reversed trace (an *initial* of the
+//!   not-dependent suffix). Siblings never named by any race are skipped
+//!   outright ([`Stats::dpor_pruned`] counts them).
+//! * **wakeup trees** (the same paper's optimal algorithm, adapted):
+//!   source sets can still schedule a backtracked thread into a state
+//!   where every continuation is sleep-set-covered, wasting the run. A
+//!   wakeup *sequence* stores the entire reversed trace
+//!   `notdep(e)·proc(e')` at the backtrack point and replays it as a
+//!   forced prefix, steering the run straight through the reversal
+//!   ([`Stats::wakeup_tree_nodes`] counts stored sequence nodes).
+//!
+//! All three preserve every Mazurkiewicz trace, hence all safety
+//! violations, deadlocks and lost wakeups — the enabled sets driving the
+//! reduction are park/unpark-aware, so [`Verdict::LostWakeup`] hangs are
+//! maximal executions the reduction must (and does) keep.
+//! [`Explorer::without_reduction`] turns all reduction off for comparison;
+//! bounded-bypass starvation checking forces it off automatically, because
+//! bypass counts are *not* invariant under reordering independent steps.
+//!
+//! [`Explorer::check_parallel`] fans the search out over a worker pool
+//! deterministically: the top [`DPOR_SPLIT_DEPTH`] levels are expanded
+//! into an explicit task list under sleep-set semantics (so cross-task
+//! backtrack insertions are satisfied by construction), tasks run on any
+//! number of workers, and verdict/stats merge in task order — the result
+//! is byte-identical for 1, 2 or N workers.
 
-use crate::program::{OpRecord, Program, RunCfg, RunState, StarvationReport, TState};
-use crate::race::RaceReport;
+use crate::program::{OpMeta, OpRecord, Program, RunCfg, RunState, StarvationReport, TState};
+use crate::race::{DporAnalysis, RaceReport};
 use memsim::{Addr, Word};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which dynamic partial-order reduction the explorer runs with; see the
+/// module docs for what each level adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DporMode {
+    /// No reduction: branch on every enabled thread at every step.
+    None,
+    /// Sleep-set pruning only (the pre-source-set explorer).
+    Sleep,
+    /// Sleep sets + source sets: branch only where an executed run shows a
+    /// reversible race. The default for [`Explorer::exhaustive`].
+    Source,
+    /// Source sets + wakeup sequences: backtracks replay the full reversed
+    /// trace, avoiding sleep-set-blocked wasted runs.
+    Tree,
+}
+
+impl DporMode {
+    /// Parses a CLI spelling: `none`, `sleep`, `source` or `tree`.
+    pub fn parse(s: &str) -> Result<DporMode, String> {
+        match s {
+            "none" => Ok(DporMode::None),
+            "sleep" => Ok(DporMode::Sleep),
+            "source" => Ok(DporMode::Source),
+            "tree" => Ok(DporMode::Tree),
+            other => Err(format!(
+                "unknown DPOR mode {other:?}; expected none, sleep, source or tree"
+            )),
+        }
+    }
+
+    /// True when source-set race analysis runs (source and tree modes).
+    fn analyses_races(self) -> bool {
+        matches!(self, DporMode::Source | DporMode::Tree)
+    }
+}
+
+impl std::fmt::Display for DporMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DporMode::None => "none",
+            DporMode::Sleep => "sleep",
+            DporMode::Source => "source",
+            DporMode::Tree => "tree",
+        })
+    }
+}
 
 /// Exploration statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,11 +120,33 @@ pub struct Stats {
     /// Executions cut off by sleep-set reduction: every continuation was a
     /// reordering of independent steps already covered elsewhere.
     pub sleep_pruned: usize,
+    /// Sibling subtrees skipped by source-set filtering: eligible threads
+    /// at some decision that no reversible race ever named, so scheduling
+    /// them there could only reorder independent steps. Zero under
+    /// [`DporMode::Sleep`], which branches on every eligible sibling.
+    pub dpor_pruned: usize,
+    /// Wakeup-sequence nodes stored under [`DporMode::Tree`]: the total
+    /// length of all forced reversal prefixes planted at backtrack points.
+    pub wakeup_tree_nodes: usize,
     /// True when the bounded schedule space was fully explored rather than
     /// stopped at `max_runs`.
     pub complete: bool,
     /// Deepest schedule reached, in steps.
     pub max_depth: usize,
+}
+
+impl Stats {
+    /// Order-insensitive merge for parallel exploration: counters add,
+    /// depth maxes, completeness ands.
+    fn absorb(&mut self, other: Stats) {
+        self.runs += other.runs;
+        self.pruned += other.pruned;
+        self.sleep_pruned += other.sleep_pruned;
+        self.dpor_pruned += other.dpor_pruned;
+        self.wakeup_tree_nodes += other.wakeup_tree_nodes;
+        self.complete &= other.complete;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
 }
 
 /// Result of checking a program.
@@ -138,6 +241,20 @@ impl Verdict {
         }
     }
 
+    /// Replaces the carried statistics (parallel merge rewrites a task's
+    /// local stats with the deterministic task-order aggregate).
+    fn with_stats(mut self, stats: Stats) -> Verdict {
+        match &mut self {
+            Verdict::Passed(s) => *s = stats,
+            Verdict::Deadlock { stats: s, .. }
+            | Verdict::LostWakeup { stats: s, .. }
+            | Verdict::Violation { stats: s, .. }
+            | Verdict::Race { stats: s, .. }
+            | Verdict::Starvation { stats: s, .. } => *s = stats,
+        }
+        self
+    }
+
     /// Panics with a readable report if the verdict is a violation.
     pub fn expect_pass(&self, what: &str) {
         match self {
@@ -167,9 +284,23 @@ pub(crate) struct Frame {
     /// Branchable choices at this point: enabled threads not in the sleep
     /// set (all enabled threads when reduction is off), in id order.
     eligible: Vec<usize>,
+    /// Bitmask of *all* enabled threads here, sleeping or not — backtrack
+    /// insertion must distinguish "asleep" (covered elsewhere) from
+    /// "disabled" (needs the conservative fallback).
+    enabled: u64,
     chosen: usize,
+    /// The operation `chosen` executed at this step (its pending op at
+    /// grant time) — the input to the dependence-clock race analysis.
+    op: Option<OpMeta>,
     /// Bitmask over thread ids already tried at this point.
     tried: u64,
+    /// Threads worth exploring here. Sleep/no-reduction modes seed this
+    /// with every eligible thread; source/tree modes seed it with `chosen`
+    /// alone and grow it only where race analysis plants backtrack points.
+    backtrack: u64,
+    /// Wakeup sequences planted here (tree mode): full reversed traces to
+    /// replay as forced prefixes, thread id per step, head first.
+    wakeups: Vec<Vec<usize>>,
     /// Thread that took the previous step (None at step 0).
     prev: Option<usize>,
     /// Preemptions accumulated strictly before this step.
@@ -192,6 +323,18 @@ impl Frame {
     /// the child's sleep set when this frame is replayed.
     fn done_mask(&self) -> u64 {
         self.tried & !(1u64 << self.chosen)
+    }
+
+    fn eligible_mask(&self) -> u64 {
+        self.eligible.iter().fold(0u64, |m, &t| m | (1u64 << t))
+    }
+
+    /// Respects the preemption bound for choosing `choice` at this frame.
+    fn budget_ok(&self, bound: Option<usize>, choice: usize) -> bool {
+        match bound {
+            None => true,
+            Some(k) => self.preempts_before + usize::from(self.is_preemption(choice)) <= k,
+        }
     }
 }
 
@@ -343,8 +486,8 @@ pub struct Explorer {
     /// Maximum involuntary context switches per schedule; `None` = unbounded
     /// (true exhaustive search — explodes beyond toy programs).
     pub preemption_bound: Option<usize>,
-    /// Sleep-set partial-order reduction (on by default).
-    pub reduction: bool,
+    /// Which dynamic partial-order reduction to run with.
+    pub dpor: DporMode,
     /// Fail runs in which a lock waiter is bypassed more than this many
     /// times (requires an instrumented lock emitting lock events).
     pub bypass_bound: Option<usize>,
@@ -353,25 +496,29 @@ pub struct Explorer {
 impl Explorer {
     /// Full DFS with no preemption bound; only viable for small programs.
     /// Retry-loop algorithms (plain test-and-set) have unbounded schedule
-    /// trees — use [`Explorer::bounded`] for those.
+    /// trees — use [`Explorer::bounded`] for those. Runs with source-set
+    /// reduction, the strongest mode that never wastes a forced replay.
     pub fn exhaustive() -> Self {
         Explorer {
             max_steps: 150,
             max_runs: 50_000,
             preemption_bound: None,
-            reduction: true,
+            dpor: DporMode::Source,
             bypass_bound: None,
         }
     }
 
     /// DFS restricted to schedules with at most `k` preemptions — the
-    /// practical mode for whole-lock checking.
+    /// practical mode for whole-lock checking. Runs with sleep sets only:
+    /// a preemption bound already makes the search heuristic, and source
+    /// sets would plant backtrack points the bound then refuses to take,
+    /// narrowing the bounded search in harder-to-predict ways.
     pub fn bounded(k: usize) -> Self {
         Explorer {
             max_steps: 150,
             max_runs: 20_000,
             preemption_bound: Some(k),
-            reduction: true,
+            dpor: DporMode::Sleep,
             bypass_bound: None,
         }
     }
@@ -388,9 +535,16 @@ impl Explorer {
         self
     }
 
-    /// Disables sleep-set reduction (for measuring its effect).
+    /// Selects the partial-order-reduction mode.
+    pub fn with_dpor(mut self, mode: DporMode) -> Self {
+        self.dpor = mode;
+        self
+    }
+
+    /// Disables partial-order reduction entirely — sleep sets, source
+    /// sets and wakeup trees — for measuring their effect.
     pub fn without_reduction(mut self) -> Self {
-        self.reduction = false;
+        self.dpor = DporMode::None;
         self
     }
 
@@ -401,44 +555,97 @@ impl Explorer {
         self
     }
 
+    /// Sleep sets (and their source-set / wakeup-tree refinements)
+    /// identify schedules that differ only in the order of independent
+    /// operations — sound for races, deadlocks and final states, all
+    /// invariant under such reorderings. Bypass counts are not: lock
+    /// events attach to operations on unrelated words, so two "equivalent"
+    /// schedules can differ in who overtook whom. Starvation checking
+    /// therefore runs unreduced.
+    fn normalized(&self) -> Explorer {
+        let mut me = *self;
+        if me.bypass_bound.is_some() {
+            me.dpor = DporMode::None;
+        }
+        me
+    }
+
     /// Explores the program's schedules; `final_check` validates the final
     /// memory of every completed execution.
     pub fn check<F>(&self, program: &Program, final_check: F) -> Verdict
     where
         F: Fn(&[Word]) -> Result<(), String>,
     {
-        let mut me = *self;
-        // Sleep sets identify schedules that differ only in the order of
-        // independent operations — sound for races, deadlocks and final
-        // states, all invariant under such reorderings. Bypass counts are
-        // not: lock events attach to operations on unrelated words, so two
-        // "equivalent" schedules can differ in who overtook whom. Starvation
-        // checking therefore runs unreduced.
-        if me.bypass_bound.is_some() {
-            me.reduction = false;
-        }
-        let me = me;
-        let mut stack: Vec<Frame> = Vec::new();
-        let mut stats = Stats {
-            complete: true,
-            ..Stats::default()
-        };
+        self.normalized().explore(
+            program,
+            &final_check,
+            Vec::new(),
+            Stats {
+                complete: true,
+                ..Stats::default()
+            },
+        )
+    }
 
+    /// The exploration loop, rooted at a fixed decision prefix `stack`
+    /// (empty for [`Explorer::check`]; a fan-out task prefix for
+    /// [`Explorer::check_parallel`]). Frames at or below the root prefix
+    /// are never branched on — their siblings belong to other tasks.
+    fn explore<F>(
+        &self,
+        program: &Program,
+        final_check: &F,
+        mut stack: Vec<Frame>,
+        mut stats: Stats,
+    ) -> Verdict
+    where
+        F: Fn(&[Word]) -> Result<(), String>,
+    {
+        let base_len = stack.len();
+        // Forced continuation past the stack: the tail of a wakeup
+        // sequence being replayed (tree mode only).
+        let mut forced: Vec<usize> = Vec::new();
         loop {
-            if stats.runs >= me.max_runs {
+            if stats.runs >= self.max_runs {
                 stats.complete = false;
                 return Verdict::Passed(stats);
             }
-            let prefix: Vec<(usize, u64)> =
+            let mut prefix: Vec<(usize, u64)> =
                 stack.iter().map(|f| (f.chosen, f.done_mask())).collect();
-            let outcome = me.execute(program, &prefix, false);
+            prefix.extend(forced.iter().map(|&t| (t, 0)));
+            let outcome = self.execute(program, &prefix, false);
             stats.runs += 1;
             stats.max_depth = stats.max_depth.max(outcome.trace.len());
 
-            // Adopt the decisions taken beyond the replayed prefix.
-            for f in outcome.trace.into_iter().skip(stack.len()) {
-                stack.push(f);
+            if let RunEnd::Diverged { step, choice } = outcome.end {
+                // Only a forced wakeup tail can diverge: stack prefixes
+                // replay decisions the explorer itself took, but a stored
+                // reversal was recorded in a sibling branch and its late
+                // steps can lose eligibility in this one. Drop the
+                // unexecutable tail and let the run continue freely.
+                assert!(
+                    step >= stack.len(),
+                    "exploration prefix chose ineligible thread {choice} at step {step}"
+                );
+                forced.truncate(step - stack.len());
+                continue;
             }
+
+            // Adopt the decisions taken beyond the replayed prefix, and
+            // refresh the prefix frames' observed operations: a backtrack
+            // rewrote `chosen` on its target frame, so the op recorded
+            // when the *previous* choice ran there is stale until this
+            // re-execution observes the new thread's pending op.
+            let analyzed_len = stack.len();
+            for (idx, f) in outcome.trace.into_iter().enumerate() {
+                if idx < analyzed_len {
+                    debug_assert_eq!(stack[idx].chosen, f.chosen, "prefix replays verbatim");
+                    stack[idx].op = f.op;
+                } else {
+                    stack.push(f);
+                }
+            }
+            forced.clear();
             let schedule: Vec<usize> = stack.iter().map(|f| f.chosen).collect();
 
             match outcome.end {
@@ -481,9 +688,7 @@ impl Explorer {
                         stats,
                     }
                 }
-                RunEnd::Diverged { step, choice } => unreachable!(
-                    "exploration prefix chose ineligible thread {choice} at step {step}"
-                ),
+                RunEnd::Diverged { .. } => unreachable!("handled above"),
                 RunEnd::Starvation(report) => {
                     return Verdict::Starvation {
                         schedule,
@@ -493,21 +698,291 @@ impl Explorer {
                 }
             }
 
+            // Source-set analysis: replay the run through the dependence
+            // clocks; every reversible race (i, j) with j among the
+            // newly-adopted steps plants a backtrack point at frame i.
+            // Races wholly inside the replayed prefix were analysed when
+            // those steps were first adopted (the replay is deterministic,
+            // so the clocks agree run over run).
+            if self.dpor.analyses_races() {
+                // The last replayed frame is the backtrack target whose
+                // `chosen` this run rewrote: it has not been analysed
+                // under its new operation yet, so insertion starts one
+                // frame before the adopted suffix. (Re-running an
+                // insertion is harmless — the covered-check makes it a
+                // no-op.) Everything earlier replays verbatim and was
+                // analysed when first adopted.
+                let insert_from = analyzed_len.saturating_sub(1).max(base_len);
+                let mut an = DporAnalysis::new(program.nthreads);
+                for j in 0..stack.len() {
+                    let races = an.push_step(stack[j].chosen, stack[j].op);
+                    if j < insert_from {
+                        continue;
+                    }
+                    for i in races {
+                        if i >= base_len {
+                            self.insert_backtrack(&mut stack, &an, i, j, &mut stats);
+                        }
+                        // Races into the root prefix are covered by the
+                        // fan-out's full sibling expansion there.
+                    }
+                }
+            }
+
             // Backtrack: advance the deepest frame with an untried,
-            // bound-respecting alternative; drop exhausted frames.
+            // bound-respecting backtrack choice (every eligible sibling in
+            // sleep/none modes); drop exhausted frames, but never branch
+            // at or below the task root.
+            loop {
+                if stack.len() <= base_len {
+                    return Verdict::Passed(stats);
+                }
+                let bound = self.preemption_bound;
+                let top = stack.last_mut().expect("stack nonempty");
+                // Wakeup sequences whose head was meanwhile explored are
+                // covered by that completed sibling subtree.
+                top.wakeups.retain(|w| top.tried & (1 << w[0]) == 0);
+                if let Some(x) = top
+                    .wakeups
+                    .iter()
+                    .position(|w| top.budget_ok(bound, w[0]))
+                {
+                    let w = top.wakeups.remove(x);
+                    top.tried |= 1 << w[0];
+                    top.chosen = w[0];
+                    forced = w[1..].to_vec();
+                    break;
+                }
+                let next = top.eligible.iter().copied().find(|&c| {
+                    top.tried & (1 << c) == 0
+                        && top.backtrack & (1 << c) != 0
+                        && top.budget_ok(bound, c)
+                });
+                match next {
+                    Some(c) => {
+                        top.tried |= 1 << c;
+                        top.chosen = c;
+                        forced.clear();
+                        break;
+                    }
+                    None => {
+                        stats.dpor_pruned += top
+                            .eligible
+                            .iter()
+                            .filter(|&&c| {
+                                top.tried & (1 << c) == 0 && top.backtrack & (1 << c) == 0
+                            })
+                            .count();
+                        stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plants a backtrack point for the reversible race `(i, j)`:
+    /// computes `v = notdep(i, E)·proc(j)` (the shortest continuation from
+    /// just before step `i` that runs the race the other way around), its
+    /// initial threads, and — unless an initial is already in frame `i`'s
+    /// backtrack set — adds one, plus the full sequence in tree mode.
+    fn insert_backtrack(
+        &self,
+        stack: &mut [Frame],
+        an: &DporAnalysis,
+        i: usize,
+        j: usize,
+        stats: &mut Stats,
+    ) {
+        // The events between i and j that do NOT happen-after step i: they
+        // stay executable when step i is postponed.
+        let v: Vec<usize> = ((i + 1)..j).filter(|&k| !an.hb(i, k)).collect();
+        // Initial threads of v·proc(j): a thread whose first event in the
+        // sequence has no happens-before predecessor inside it can start
+        // the reversed trace. For events of v this reduces to "no earlier
+        // v-event is directly dependent with it" (its program-order
+        // predecessors are outside v). Step j itself can additionally be
+        // ordered through events *outside* v (they all happen-after i and
+        // before j), which its full clock knows about.
+        let mut seen: u64 = 0;
+        let mut initials: u64 = 0;
+        for (x, &k) in v.iter().enumerate() {
+            let t = an.tid(k);
+            if seen & (1 << t) != 0 {
+                continue;
+            }
+            seen |= 1 << t;
+            if v[..x].iter().all(|&f| !an.steps_dependent(f, k)) {
+                initials |= 1 << t;
+            }
+        }
+        let tj = an.tid(j);
+        if seen & (1 << tj) == 0 && v.iter().all(|&f| !an.hb(f, j)) {
+            initials |= 1 << tj;
+        }
+        debug_assert!(initials != 0, "v's first event is always initial");
+
+        let frame = &mut stack[i];
+        if frame.backtrack & initials != 0 {
+            return; // some initial is already scheduled for exploration
+        }
+        let eligible = frame.eligible_mask();
+        match self.dpor {
+            DporMode::Tree => {
+                // The stored sequence must start with v's own first event;
+                // its thread is an initial by construction.
+                let head = v.first().map(|&k| an.tid(k)).unwrap_or(tj);
+                if eligible & (1 << head) != 0 {
+                    let seq: Vec<usize> =
+                        v.iter().map(|&k| an.tid(k)).chain(std::iter::once(tj)).collect();
+                    frame.backtrack |= 1 << head;
+                    stats.wakeup_tree_nodes += seq.len();
+                    frame.wakeups.push(seq);
+                } else if frame.enabled & (1 << head) == 0 {
+                    // Not even enabled at i: fall back to exploring every
+                    // eligible sibling (classic conservative backtrack).
+                    frame.backtrack |= eligible;
+                }
+                // Enabled but asleep: the trace is covered by the sibling
+                // branch whose exploration put the thread to sleep.
+            }
+            _ => {
+                // Source mode: prefer the racing thread, else the lowest
+                // eligible initial, else any enabled (asleep ⇒ covered),
+                // else the conservative every-sibling fallback.
+                let pick = if initials & eligible & (1 << tj) != 0 {
+                    Some(tj)
+                } else {
+                    (0..an.nthreads()).find(|&t| initials & eligible & (1 << t) != 0)
+                };
+                match pick {
+                    Some(q) => frame.backtrack |= 1 << q,
+                    None => {
+                        if initials & frame.enabled == 0 {
+                            frame.backtrack |= eligible;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`Explorer::check`], but explores with `workers` host threads.
+    ///
+    /// The result is **independent of the worker count**: a deterministic
+    /// serial fan-out first enumerates every decision prefix of depth
+    /// [`DPOR_SPLIT_DEPTH`] under sleep-set semantics (full sibling
+    /// expansion, so no backtrack point ever needs to cross a task
+    /// boundary), workers then explore those subtree tasks in any order,
+    /// and the merge walks tasks in fan-out order — summing [`Stats`] and
+    /// reporting the violation from the earliest task that found one.
+    /// Workers racing past a known earlier violation only *skip* work;
+    /// they can never change which verdict wins. `max_runs` applies per
+    /// task.
+    pub fn check_parallel<F>(&self, program: &Program, final_check: F, workers: usize) -> Verdict
+    where
+        F: Fn(&[Word]) -> Result<(), String> + Sync,
+    {
+        let me = self.normalized();
+        let workers = workers.max(1);
+        let (tasks, gen_stats) = me.fan_out(program, DPOR_SPLIT_DEPTH.min(me.max_steps));
+        let slots: Vec<Mutex<Option<Verdict>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        // Lowest task index known to hold a violation; tasks after it are
+        // skippable (their verdicts would lose the task-order merge).
+        let first_bad = AtomicUsize::new(usize::MAX);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(tasks.len().max(1)) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= tasks.len() {
+                        break;
+                    }
+                    if idx > first_bad.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    let v = me.explore(
+                        program,
+                        &final_check,
+                        tasks[idx].clone(),
+                        Stats {
+                            complete: true,
+                            ..Stats::default()
+                        },
+                    );
+                    if !matches!(v, Verdict::Passed(_)) {
+                        first_bad.fetch_min(idx, Ordering::AcqRel);
+                    }
+                    *slots[idx].lock().unwrap() = Some(v);
+                });
+            }
+        });
+        let mut stats = gen_stats;
+        for slot in slots {
+            let v = slot
+                .into_inner()
+                .unwrap()
+                .expect("tasks at or before the first violation always complete");
+            let violation = !matches!(v, Verdict::Passed(_));
+            stats.absorb(v.stats());
+            if violation {
+                return v.with_stats(stats);
+            }
+        }
+        Verdict::Passed(stats)
+    }
+
+    /// Enumerates every decision prefix of length ≤ `depth` as a task for
+    /// [`Explorer::check_parallel`], via a sleep-set DFS truncated at
+    /// `depth`. Sleep mode expands *every* eligible sibling at each of
+    /// these shallow frames, so any backtrack point a task's race analysis
+    /// would plant below `depth` already exists as another task — cross-
+    /// task insertions can be skipped outright. Runs that end before the
+    /// split depth (complete or stuck) become tasks too: phase two replays
+    /// and classifies them under the full reduction mode.
+    fn fan_out(&self, program: &Program, depth: usize) -> (Vec<Vec<Frame>>, Stats) {
+        let mut generator = *self;
+        if generator.dpor != DporMode::None {
+            generator.dpor = DporMode::Sleep;
+        }
+        generator.max_steps = depth;
+        let mut tasks: Vec<Vec<Frame>> = Vec::new();
+        let mut stats = Stats {
+            complete: true,
+            ..Stats::default()
+        };
+        let mut stack: Vec<Frame> = Vec::new();
+        loop {
+            let prefix: Vec<(usize, u64)> =
+                stack.iter().map(|f| (f.chosen, f.done_mask())).collect();
+            let outcome = generator.execute(program, &prefix, false);
+            stats.runs += 1;
+            // Same prefix-op refresh as in `explore`: the task frames'
+            // recorded ops feed phase two's race analysis.
+            let replayed = stack.len();
+            for (idx, f) in outcome.trace.into_iter().enumerate() {
+                if idx < replayed {
+                    stack[idx].op = f.op;
+                } else {
+                    stack.push(f);
+                }
+            }
+            match outcome.end {
+                RunEnd::SleepBlocked => stats.sleep_pruned += 1,
+                RunEnd::Diverged { step, choice } => unreachable!(
+                    "fan-out prefix chose ineligible thread {choice} at step {step}"
+                ),
+                // Pruned here just means the run reached the split depth —
+                // a task boundary, not a step-limit event, so it is not
+                // counted in `stats.pruned`.
+                _ => tasks.push(stack.clone()),
+            }
             loop {
                 let Some(top) = stack.last_mut() else {
-                    return Verdict::Passed(stats);
+                    return (tasks, stats);
                 };
-                let budget_ok = |f: &Frame, c: usize| match me.preemption_bound {
-                    None => true,
-                    Some(k) => f.preempts_before + usize::from(f.is_preemption(c)) <= k,
-                };
-                let next = top
-                    .eligible
-                    .iter()
-                    .copied()
-                    .find(|&c| top.tried & (1 << c) == 0 && budget_ok(top, c));
+                let next = top.eligible.iter().copied().find(|&c| {
+                    top.tried & (1 << c) == 0 && top.budget_ok(self.preemption_bound, c)
+                });
                 match next {
                     Some(c) => {
                         top.tried |= 1 << c;
@@ -531,7 +1006,7 @@ impl Explorer {
         let prefix: Vec<(usize, u64)> = schedule.iter().map(|&c| (c, 0)).collect();
         // Reduction must not cut a forced replay short.
         let mut one_shot = *self;
-        one_shot.reduction = false;
+        one_shot.dpor = DporMode::None;
         let outcome = one_shot.execute(program, &prefix, true);
         let end = match outcome.end {
             RunEnd::Complete(memory) => ReplayEnd::Complete(memory),
@@ -582,7 +1057,7 @@ impl Explorer {
         // here is covered by an already-explored sibling branch. Replayed
         // deterministically from the prefix's done-masks.
         let mut sleep: u64 = 0;
-        let reduction = self.reduction && matches!(policy, Policy::Dfs { .. });
+        let reduction = self.dpor != DporMode::None && matches!(policy, Policy::Dfs { .. });
 
         let end = std::thread::scope(|scope| {
             for pid in 0..program.nthreads {
@@ -662,6 +1137,7 @@ impl Explorer {
                     break RunEnd::Pruned;
                 }
 
+                let enabled_mask = enabled.iter().fold(0u64, |m, &t| m | (1u64 << t));
                 let eligible: Vec<usize> = if reduction {
                     enabled
                         .iter()
@@ -748,10 +1224,22 @@ impl Explorer {
                     sleep = next;
                 }
 
+                // Source/tree modes seed the backtrack set with just the
+                // chosen thread; race analysis grows it on demand. Sleep
+                // and no-reduction modes explore every eligible sibling.
+                let eligible_bits = eligible.iter().fold(0u64, |m, &t| m | (1u64 << t));
                 trace.push(Frame {
                     eligible,
+                    enabled: enabled_mask,
                     chosen,
+                    op: g.pending[chosen],
                     tried: 1 << chosen,
+                    backtrack: if self.dpor.analyses_races() {
+                        1 << chosen
+                    } else {
+                        eligible_bits
+                    },
+                    wakeups: Vec::new(),
                     prev,
                     preempts_before,
                 });
@@ -762,6 +1250,58 @@ impl Explorer {
 
         let ops = std::mem::take(&mut rs.mu.lock().unwrap().oplog);
         RunOutcome { trace, end, ops }
+    }
+}
+
+/// Depth of the serial fan-out that seeds [`Explorer::check_parallel`]:
+/// every decision prefix of this length becomes one independently
+/// explorable task. Three levels splits typical 2–4-thread programs into
+/// tens of tasks — enough to feed 8 workers — while the generation pass
+/// itself stays a negligible fraction of the search.
+pub const DPOR_SPLIT_DEPTH: usize = 3;
+
+/// Default worker count for parallel exploration when
+/// `SYNCMECH_DPOR_WORKERS` is unset: serial. Exploration tasks are
+/// CPU-bound and short; unlike the perf sweeps, defaulting to the host's
+/// parallelism would buy little on the small exhaustive suites and make
+/// `cargo test` load spiky, so opting in is explicit.
+pub const DEFAULT_DPOR_WORKERS: usize = 1;
+
+/// Host threads used by [`Explorer::check_parallel`] callers that honour
+/// the environment: `SYNCMECH_DPOR_WORKERS` if set, otherwise
+/// [`DEFAULT_DPOR_WORKERS`].
+///
+/// # Panics
+///
+/// If `SYNCMECH_DPOR_WORKERS` is set to anything other than a positive
+/// integer. A user who sets the variable meant to control the worker
+/// count; silently falling back would make a typo look like a
+/// performance mystery.
+pub fn dpor_workers() -> usize {
+    let var = std::env::var("SYNCMECH_DPOR_WORKERS").ok();
+    match dpor_workers_from(var.as_deref()) {
+        Ok(n) => n,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// The policy behind [`dpor_workers`], with the environment lookup
+/// factored out for testability: `None` means the variable is unset.
+pub fn dpor_workers_from(var: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = var else {
+        return Ok(DEFAULT_DPOR_WORKERS);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "SYNCMECH_DPOR_WORKERS=0: parallel exploration needs at least one worker; \
+             set a positive count, or unset the variable for the serial default"
+                .to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "SYNCMECH_DPOR_WORKERS={raw:?} is not a positive integer; set a worker count \
+             like 4, or unset the variable for the serial default"
+        )),
     }
 }
 
@@ -1212,6 +1752,164 @@ mod tests {
             matches!(verdict, Verdict::LostWakeup { .. }),
             "bypass-bound run misclassified the park hang: {verdict:?}"
         );
+    }
+
+    /// Three threads contending on one word plus private traffic: enough
+    /// dependence structure that the reduction modes separate cleanly.
+    fn contended() -> Program {
+        Program::new(3, 4, |ctx| {
+            let me = ctx.pid();
+            ctx.store(1 + me, 1);
+            let v = ctx.load(0);
+            ctx.store(0, v + 1);
+            ctx.store(1 + me, 2);
+        })
+    }
+
+    #[test]
+    fn source_sets_explore_fewer_runs_than_sleep_sets() {
+        let sleep = Explorer::exhaustive()
+            .with_dpor(DporMode::Sleep)
+            .check(&contended(), |_| Ok(()));
+        let source = Explorer::exhaustive()
+            .with_dpor(DporMode::Source)
+            .check(&contended(), |_| Ok(()));
+        sleep.expect_pass("contended, sleep");
+        source.expect_pass("contended, source");
+        assert!(sleep.stats().complete && source.stats().complete);
+        assert!(
+            source.stats().runs < sleep.stats().runs,
+            "source sets must beat sleep sets: {} vs {}",
+            source.stats().runs,
+            sleep.stats().runs
+        );
+        assert!(source.stats().dpor_pruned > 0, "source mode reports its cuts");
+        assert_eq!(sleep.stats().dpor_pruned, 0, "sleep mode never dpor-prunes");
+    }
+
+    #[test]
+    fn wakeup_trees_count_their_nodes() {
+        let tree = Explorer::exhaustive()
+            .with_dpor(DporMode::Tree)
+            .check(&contended(), |_| Ok(()));
+        tree.expect_pass("contended, tree");
+        assert!(tree.stats().complete);
+        assert!(
+            tree.stats().wakeup_tree_nodes > 0,
+            "a contended program grows wakeup sequences"
+        );
+        let sleep = Explorer::exhaustive()
+            .with_dpor(DporMode::Sleep)
+            .check(&contended(), |_| Ok(()));
+        assert_eq!(sleep.stats().wakeup_tree_nodes, 0);
+    }
+
+    #[test]
+    fn without_reduction_disables_source_and_tree_machinery_too() {
+        for mode in [DporMode::Source, DporMode::Tree] {
+            let v = Explorer::exhaustive()
+                .with_dpor(mode)
+                .without_reduction()
+                .check(&contended(), |_| Ok(()));
+            v.expect_pass("contended, unreduced");
+            let s = v.stats();
+            assert_eq!(s.sleep_pruned, 0, "no sleep sets without reduction");
+            assert_eq!(s.dpor_pruned, 0, "no source-set cuts without reduction");
+            assert_eq!(s.wakeup_tree_nodes, 0, "no wakeup tree without reduction");
+        }
+    }
+
+    #[test]
+    fn every_mode_finds_the_lost_update() {
+        let racy = || {
+            Program::new(2, 1, |ctx| {
+                let v = ctx.load(0);
+                ctx.store(0, v + 1);
+            })
+        };
+        let check = |mem: &[Word]| {
+            if mem[0] == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: {}", mem[0]))
+            }
+        };
+        for mode in [DporMode::None, DporMode::Sleep, DporMode::Source, DporMode::Tree] {
+            let v = Explorer::exhaustive().with_dpor(mode).check(&racy(), check);
+            assert!(v.is_violation(), "{mode} must find the lost update");
+        }
+    }
+
+    #[test]
+    fn parallel_verdict_is_worker_count_independent() {
+        // A passing program: verdict + stats must match exactly.
+        let render = |workers| {
+            format!(
+                "{:?}",
+                Explorer::exhaustive().check_parallel(&contended(), |_| Ok(()), workers)
+            )
+        };
+        let serial = render(1);
+        assert_eq!(serial, render(2), "1 vs 2 workers");
+        assert_eq!(serial, render(8), "1 vs 8 workers");
+    }
+
+    #[test]
+    fn parallel_violation_and_schedule_are_worker_count_independent() {
+        let racy = || {
+            Program::new(3, 1, |ctx| {
+                let v = ctx.data_load(0);
+                ctx.data_store(0, v + 1);
+            })
+        };
+        let render = |workers| {
+            format!(
+                "{:?}",
+                Explorer::exhaustive().check_parallel(&racy(), |_| Ok(()), workers)
+            )
+        };
+        let serial = render(1);
+        assert!(serial.contains("Race"), "the increments race: {serial}");
+        assert_eq!(serial, render(2), "1 vs 2 workers");
+        assert_eq!(serial, render(8), "1 vs 8 workers");
+    }
+
+    #[test]
+    fn parallel_respects_bypass_normalization() {
+        // Bypass accounting forces reduction off in parallel mode too.
+        let v = Explorer::exhaustive()
+            .with_bypass_bound(1)
+            .check_parallel(&contended(), |_| Ok(()), 4);
+        v.expect_pass("contended under a bypass bound");
+        assert_eq!(v.stats().dpor_pruned, 0);
+        assert_eq!(v.stats().sleep_pruned, 0);
+    }
+
+    #[test]
+    fn dpor_mode_parses_and_displays() {
+        for (name, mode) in [
+            ("none", DporMode::None),
+            ("sleep", DporMode::Sleep),
+            ("source", DporMode::Source),
+            ("tree", DporMode::Tree),
+        ] {
+            assert_eq!(DporMode::parse(name), Ok(mode));
+            assert_eq!(format!("{mode}"), name);
+        }
+        assert!(DporMode::parse("optimal").is_err());
+    }
+
+    #[test]
+    fn dpor_workers_env_is_validated_strictly() {
+        assert_eq!(dpor_workers_from(None), Ok(DEFAULT_DPOR_WORKERS));
+        assert_eq!(dpor_workers_from(Some("4")), Ok(4));
+        assert_eq!(dpor_workers_from(Some(" 2 ")), Ok(2));
+        let zero = dpor_workers_from(Some("0")).unwrap_err();
+        assert!(zero.contains("SYNCMECH_DPOR_WORKERS=0"), "{zero}");
+        let junk = dpor_workers_from(Some("fast")).unwrap_err();
+        assert!(junk.contains("not a positive integer"), "{junk}");
+        assert!(dpor_workers_from(Some("-1")).is_err());
+        assert!(dpor_workers_from(Some("")).is_err());
     }
 
     #[test]

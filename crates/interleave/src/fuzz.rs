@@ -208,6 +208,34 @@ impl FuzzReport {
     pub fn expect_pass(&self, what: &str) {
         self.verdict.expect_pass(what);
     }
+
+    /// Renders a failed campaign as a checked-in corpus file (see
+    /// [`crate::corpus`]): the shrunk schedule when shrinking ran, else
+    /// the raw failing one, with a provenance comment. `None` when the
+    /// campaign passed. `program` must be a [`crate::corpus::corpus_program`]
+    /// registry name for the loader test to replay the entry.
+    pub fn corpus_entry(&self, program: &str) -> Option<String> {
+        let raw = self.verdict.schedule()?;
+        let (schedule, provenance) = match &self.shrunk {
+            Some(s) => (
+                s.schedule.clone(),
+                format!(
+                    "shrunk {} -> {} steps in {} replays",
+                    raw.len(),
+                    s.schedule.len(),
+                    s.replays
+                ),
+            ),
+            None => (raw.to_vec(), "unshrunk".to_string()),
+        };
+        let entry = crate::corpus::CorpusEntry {
+            program: program.to_string(),
+            schedule,
+            verdict: crate::corpus::VerdictClass::of(&self.verdict),
+        };
+        let iter = self.failing_iter.unwrap_or(0);
+        Some(entry.render(&format!("found at fuzz iteration {iter}; {provenance}")))
+    }
 }
 
 /// A seeded, deterministic random-schedule fuzzer.

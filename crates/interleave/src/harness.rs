@@ -27,7 +27,7 @@ use crate::program::Program;
 use kernels::barriers::BarrierKernel;
 use kernels::lockdep::InstrumentedLock;
 use kernels::locks::LockKernel;
-use kernels::{LockOrderGraph, Region, SyncCtx};
+use kernels::{LockOrderGraph, Region, SyncCtx, Word};
 use std::sync::Arc;
 
 /// Builds the mutual-exclusion program for a lock: each thread performs
@@ -83,6 +83,35 @@ pub fn check_lock(
             ))
         }
     })
+}
+
+/// Like [`check_lock`], but exploring with `workers` host threads via
+/// [`Explorer::check_parallel`]. The verdict, schedule and stats are
+/// independent of `workers`.
+pub fn check_lock_parallel(
+    lock: Arc<dyn LockKernel + Send + Sync>,
+    nthreads: usize,
+    iters: usize,
+    explorer: Explorer,
+    workers: usize,
+) -> Verdict {
+    let expected = (nthreads * iters) as u64;
+    let program = lock_program(lock, nthreads, iters);
+    let counter = program.initial_memory().len() - 1;
+    explorer.check_parallel(
+        &program,
+        move |mem: &[Word]| {
+            if mem[counter] == expected {
+                Ok(())
+            } else {
+                Err(format!(
+                    "critical sections lost: counter {} != {expected}",
+                    mem[counter]
+                ))
+            }
+        },
+        workers,
+    )
 }
 
 /// Like [`check_lock`], but with the lock instrumented and the explorer
@@ -229,6 +258,20 @@ pub fn check_barrier(
 ) -> Verdict {
     let program = barrier_program(barrier, nthreads, episodes);
     explorer.check(&program, |_| Ok(()))
+}
+
+/// Like [`check_barrier`], but exploring with `workers` host threads via
+/// [`Explorer::check_parallel`]. The verdict, schedule and stats are
+/// independent of `workers`.
+pub fn check_barrier_parallel(
+    barrier: Arc<dyn BarrierKernel + Send + Sync>,
+    nthreads: usize,
+    episodes: u64,
+    explorer: Explorer,
+    workers: usize,
+) -> Verdict {
+    let program = barrier_program(barrier, nthreads, episodes);
+    explorer.check_parallel(&program, |_: &[Word]| Ok(()), workers)
 }
 
 #[cfg(test)]

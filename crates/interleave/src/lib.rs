@@ -21,10 +21,16 @@
 //! **preemption bounding** (Musuvathi & Qadeer): only schedules with at most
 //! `k` involuntary context switches are explored. Almost all synchronization
 //! bugs manifest with two or fewer preemptions, which keeps checking every
-//! lock in the suite tractable. **Sleep-set partial-order reduction**
-//! (Godefroid) prunes schedules that merely reorder independent steps of
-//! one already explored — typically a 3–65× run reduction on the lock
-//! suite at identical coverage ([`Stats::sleep_pruned`] counts the cuts).
+//! lock in the suite tractable. **Dynamic partial-order reduction**
+//! ([`DporMode`]) prunes schedules that merely reorder independent steps
+//! of one already explored: sleep sets (Godefroid) cut the obvious
+//! repeats, and the default source-set mode plus the wakeup-tree mode
+//! (Abdulla et al.) invert the search — branching only where a run's
+//! vector clocks prove a reversible race — for order-of-magnitude run
+//! reductions at identical coverage ([`Stats::sleep_pruned`] and
+//! [`Stats::dpor_pruned`] count the cuts). The search itself can fan out
+//! across host threads ([`Explorer::check_parallel`]) with a verdict
+//! independent of the worker count.
 //! Where even bounded search stops scaling, the [`fuzz`] module *samples*
 //! instead: seeded uniform-random and PCT schedules ([`Fuzzer`]) through
 //! the same scheduler loop, with greedy schedule shrinking
@@ -73,13 +79,18 @@
 //! assert!(verdict.is_violation());
 //! ```
 
+pub mod corpus;
 pub mod explorer;
 pub mod fuzz;
 pub mod harness;
 pub mod program;
 pub mod race;
 
-pub use explorer::{Explorer, Replay, ReplayEnd, Stats, Verdict};
+pub use corpus::{CorpusEntry, VerdictClass};
+pub use explorer::{
+    dpor_workers, dpor_workers_from, DporMode, Explorer, Replay, ReplayEnd, Stats, Verdict,
+    DEFAULT_DPOR_WORKERS, DPOR_SPLIT_DEPTH,
+};
 pub use fuzz::{FuzzReport, Fuzzer, Shrunk, Strategy};
 pub use program::{ChkCtx, OpKind, OpRecord, Program, StarvationReport};
 pub use race::{AccessSite, Epoch, RaceReport, VectorClock};

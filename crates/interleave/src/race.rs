@@ -29,7 +29,9 @@
 //! programs are tiny, so the representation favours clarity over the last
 //! nanosecond.
 
+use crate::program::OpMeta;
 use memsim::Addr;
+use std::collections::HashMap;
 
 /// Logical time of one thread component.
 pub type Clock = u64;
@@ -253,6 +255,139 @@ impl RaceDetector {
     }
 }
 
+/// Happens-before clocks over the **Mazurkiewicz dependence** relation,
+/// one clock per executed scheduling step — the engine behind the
+/// explorer's source-set / wakeup-tree DPOR (see [`crate::explorer`]).
+///
+/// This is deliberately a *different* happens-before than
+/// [`RaceDetector`]'s: the race detector's sync clocks only order a read
+/// after the writes it may observe (the reads-from order), which is what
+/// data-race checking wants. DPOR instead needs the full dependence
+/// order — write↔write, read↔write, and futex pairs on the same word all
+/// create edges, because swapping any such pair changes the run. Each
+/// pushed step joins the clocks of its direct dependence predecessors and
+/// ticks its thread; two dependent steps whose clocks do *not* order them
+/// are a **reversible race**, the signal that tells the explorer where a
+/// backtrack point is needed.
+#[derive(Debug, Clone)]
+pub(crate) struct DporAnalysis {
+    nthreads: usize,
+    /// Clock of each thread's latest step.
+    thread_clocks: Vec<VectorClock>,
+    /// Steps taken per thread (the epoch source).
+    taken: Vec<Clock>,
+    /// Per executed step: its clock (after joins + tick), epoch, thread,
+    /// and operation.
+    step_clock: Vec<VectorClock>,
+    step_epoch: Vec<Epoch>,
+    step_tid: Vec<usize>,
+    step_op: Vec<Option<OpMeta>>,
+    /// Step indices touching each word, ascending — the only candidates
+    /// for dependence with a later op on that word.
+    by_addr: HashMap<Addr, Vec<usize>>,
+    /// Steps with unknown ops: conservatively dependent with everything.
+    opaque: Vec<usize>,
+}
+
+impl DporAnalysis {
+    pub(crate) fn new(nthreads: usize) -> Self {
+        DporAnalysis {
+            nthreads,
+            thread_clocks: (0..nthreads).map(|_| VectorClock::new(nthreads)).collect(),
+            taken: vec![0; nthreads],
+            step_clock: Vec::new(),
+            step_epoch: Vec::new(),
+            step_tid: Vec::new(),
+            step_op: Vec::new(),
+            by_addr: HashMap::new(),
+            opaque: Vec::new(),
+        }
+    }
+
+    /// The thread that took step `i`.
+    pub(crate) fn tid(&self, i: usize) -> usize {
+        self.step_tid[i]
+    }
+
+    /// Step `i` happens-before step `k` (dependence order, `i < k`).
+    pub(crate) fn hb(&self, i: usize, k: usize) -> bool {
+        self.step_clock[k].covers(self.step_epoch[i])
+    }
+
+    /// Direct dependence between two recorded steps (unknown ops are
+    /// conservatively dependent with everything).
+    pub(crate) fn steps_dependent(&self, i: usize, k: usize) -> bool {
+        if self.step_tid[i] == self.step_tid[k] {
+            return true; // program order
+        }
+        match (self.step_op[i], self.step_op[k]) {
+            (Some(a), Some(b)) => a.dependent(b),
+            _ => true,
+        }
+    }
+
+    /// Records the next step of the execution and returns the indices of
+    /// earlier steps in a **reversible race** with it: directly dependent,
+    /// by another thread, and not already ordered before it through other
+    /// events. Returned ascending.
+    pub(crate) fn push_step(&mut self, tid: usize, op: Option<OpMeta>) -> Vec<usize> {
+        let mut clock = self.thread_clocks[tid].clone();
+        // Candidate predecessors: same-word steps (dependence needs a
+        // shared word), plus opaque steps; everything for an opaque op.
+        let mut cands: Vec<usize> = match op {
+            Some(m) => {
+                let mut v = self.by_addr.get(&m.addr).cloned().unwrap_or_default();
+                v.extend_from_slice(&self.opaque);
+                v
+            }
+            None => (0..self.step_tid.len()).collect(),
+        };
+        cands.sort_unstable();
+        cands.dedup();
+        let mut races = Vec::new();
+        // Scan newest-first: joining each unordered predecessor's clock
+        // lets it shadow the older steps it already orders, so only the
+        // *immediate* unordered predecessors report as races.
+        for &i in cands.iter().rev() {
+            if self.step_tid[i] == tid {
+                continue; // program order, already in `clock`
+            }
+            let dependent = match (self.step_op[i], op) {
+                (Some(a), Some(b)) => a.dependent(b),
+                _ => true,
+            };
+            if !dependent || clock.covers(self.step_epoch[i]) {
+                continue;
+            }
+            races.push(i);
+            clock.join(&self.step_clock[i]);
+        }
+        self.taken[tid] += 1;
+        clock.tick(tid);
+        debug_assert_eq!(clock.get(tid), self.taken[tid]);
+        let j = self.step_tid.len();
+        let epoch = Epoch {
+            tid,
+            clk: self.taken[tid],
+        };
+        match op {
+            Some(m) => self.by_addr.entry(m.addr).or_default().push(j),
+            None => self.opaque.push(j),
+        }
+        self.thread_clocks[tid] = clock.clone();
+        self.step_clock.push(clock);
+        self.step_epoch.push(epoch);
+        self.step_tid.push(tid);
+        self.step_op.push(op);
+        races.reverse();
+        races
+    }
+
+    pub(crate) fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +497,80 @@ mod tests {
         d.sync_read(2, 1);
         let race = d.data_write(2, 0, site(2, 1, true)).expect("race with reader 1");
         assert_eq!(race.prior.pid, 1);
+    }
+
+    mod dpor {
+        use super::super::DporAnalysis;
+        use crate::program::{OpKind, OpMeta};
+
+        fn st(addr: usize) -> Option<OpMeta> {
+            Some(OpMeta {
+                addr,
+                kind: OpKind::SyncStore,
+            })
+        }
+
+        fn ld(addr: usize) -> Option<OpMeta> {
+            Some(OpMeta {
+                addr,
+                kind: OpKind::SyncLoad,
+            })
+        }
+
+        #[test]
+        fn dependent_unordered_steps_race() {
+            let mut an = DporAnalysis::new(2);
+            assert!(an.push_step(0, st(0)).is_empty());
+            // Thread 1's store to the same word is unordered with step 0.
+            assert_eq!(an.push_step(1, st(0)), vec![0]);
+            assert!(an.hb(0, 1), "the race edge itself orders the steps");
+        }
+
+        #[test]
+        fn independent_steps_do_not_race() {
+            let mut an = DporAnalysis::new(2);
+            assert!(an.push_step(0, st(0)).is_empty());
+            assert!(an.push_step(1, st(1)).is_empty(), "different words");
+            assert_eq!(an.push_step(1, ld(0)), vec![0], "read vs write races");
+            let mut an = DporAnalysis::new(2);
+            an.push_step(0, ld(0));
+            assert!(an.push_step(1, ld(0)).is_empty(), "two reads commute");
+        }
+
+        #[test]
+        fn ordered_dependent_steps_do_not_re_race() {
+            // t0 stores a, t1's rmw on a races with it; t1's *second* op on
+            // a is then ordered after t0's store through t1's first — only
+            // the immediate unordered predecessor reports.
+            let mut an = DporAnalysis::new(2);
+            an.push_step(0, st(0));
+            assert_eq!(an.push_step(1, st(0)), vec![0]);
+            assert!(an.push_step(1, st(0)).is_empty());
+        }
+
+        #[test]
+        fn transitive_order_through_third_thread_suppresses_race() {
+            // t0 w(a); t1 w(a) (races, then ordered); t2 w(a) races only
+            // with t1 — t0 is shadowed behind t1's join.
+            let mut an = DporAnalysis::new(3);
+            an.push_step(0, st(0));
+            assert_eq!(an.push_step(1, st(0)), vec![0]);
+            assert_eq!(an.push_step(2, st(0)), vec![1]);
+        }
+
+        #[test]
+        fn program_order_never_races() {
+            let mut an = DporAnalysis::new(2);
+            an.push_step(0, st(0));
+            assert!(an.push_step(0, st(0)).is_empty());
+            assert!(an.hb(0, 1));
+        }
+
+        #[test]
+        fn opaque_steps_are_conservatively_dependent() {
+            let mut an = DporAnalysis::new(2);
+            an.push_step(0, st(0));
+            assert_eq!(an.push_step(1, None), vec![0]);
+        }
     }
 }
