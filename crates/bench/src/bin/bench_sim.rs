@@ -7,6 +7,12 @@
 //! pool across every simulation. Per-figure progress goes to stderr;
 //! stdout reports only where the JSON landed.
 //!
+//! Since schema v2 every deterministic figure is rendered **twice** — once
+//! serially (one sweep thread, no fragment replay) and once with both
+//! parallelism axes enabled (cross-cell sweep threads × intra-run fragment
+//! replay) — and the two outputs are compared byte for byte before the
+//! speedup is reported. A mismatch is a determinism bug and fails the run.
+//!
 //! ```text
 //! cargo run -p bench --release --bin bench_sim [-- --quick|--full] [--out PATH]
 //! ```
@@ -17,11 +23,16 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const USAGE: &str = "\
-usage: bench_sim [--quick | --full] [--only IDS] [--out PATH]
+usage: bench_sim [--quick | --full] [--only IDS] [--out PATH] [--fragments K]
                  [--trace-out PATH] [--trace-workload bus|oversub] [--help]
 
+  --fragments K          fragment length in simulated cycles for the
+                         fragment-parallel pass (positive; overrides
+                         SYNCMECH_REPLAY_FRAGMENT; default 25000)
   --trace-out PATH       also export a Chrome trace-event JSON timeline of
-                         one traced workload (validated before writing)
+                         one traced workload (validated before writing);
+                         the export runs fragment-parallel and stitches the
+                         per-fragment rings
   --trace-workload KIND  which workload to trace: `bus` (dedicated bus
                          machine, qsm) or `oversub` (the fig9
                          oversubscription machine, qsm-block-park; default)
@@ -29,12 +40,18 @@ usage: bench_sim [--quick | --full] [--only IDS] [--out PATH]
   --full      full sweeps (default; the publication figures)
   --only IDS  comma-separated figure ids to run (default: all)
   --out PATH  where to write the JSON report (default BENCH_sim.json)
-  --help      show this help";
+  --help      show this help
+
+environment:
+  SYNCMECH_SWEEP_THREADS=N    host threads for the cross-cell sweep fan-out
+  SYNCMECH_REPLAY_FRAGMENT=K  fragment length in simulated cycles
+  SYNCMECH_REPLAY_WORKERS=N   host threads for the fragment replay fan-out";
 
 struct Args {
     quick: bool,
     only: Option<Vec<String>>,
     out: String,
+    fragments: Option<u64>,
     trace_out: Option<String>,
     trace_workload: String,
 }
@@ -44,6 +61,7 @@ fn parse_args() -> Args {
         quick: false,
         only: None,
         out: "BENCH_sim.json".to_string(),
+        fragments: None,
         trace_out: None,
         trace_workload: "oversub".to_string(),
     };
@@ -66,6 +84,14 @@ fn parse_args() -> Args {
                 Some(path) => args.out = path,
                 None => {
                     eprintln!("error: --out needs a path");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--fragments" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(k)) if k > 0 => args.fragments = Some(k),
+                _ => {
+                    eprintln!("error: --fragments needs a positive cycle count");
                     eprintln!("{USAGE}");
                     std::process::exit(2);
                 }
@@ -100,6 +126,13 @@ fn parse_args() -> Args {
     args
 }
 
+/// Default fragment length. Snapshot capture clones the full machine
+/// state (P caches + memory + engine queues), so short fragments are
+/// dominated by cloning — 25k cycles costs ~4x on the P = 64 figures,
+/// 100k cycles ~1.3x — while the large figure cells still split into
+/// enough fragments to load a small host's cores.
+const DEFAULT_FRAGMENT: u64 = 100_000;
+
 fn main() {
     let args = parse_args();
     let opts = Opts {
@@ -111,6 +144,23 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let threads = workloads::sweeps::sweep_threads();
+    let replay_workers = memsim::replay::replay_workers_env();
+
+    // Fragment length: CLI flag, then the environment knob (validated
+    // strictly — a bad value must abort, not silently disable replay),
+    // then the default.
+    let env_fragment = {
+        let var = std::env::var("SYNCMECH_REPLAY_FRAGMENT").ok();
+        match memsim::replay::fragment_cycles_from(var.as_deref()) {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let fragment = args.fragments.or(env_fragment).unwrap_or(DEFAULT_FRAGMENT);
+    let sweep_threads_env = std::env::var("SYNCMECH_SWEEP_THREADS").ok();
 
     let selected: Vec<_> = FIGURES
         .iter()
@@ -121,37 +171,86 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Environment presets for the two passes. Renders read the knobs
+    // freshly per run, and nothing else runs concurrently with a render's
+    // setup, so toggling the process environment between passes is safe.
+    let set_serial_env = || {
+        std::env::set_var("SYNCMECH_SWEEP_THREADS", "1");
+        std::env::remove_var("SYNCMECH_REPLAY_FRAGMENT");
+    };
+    let set_parallel_env = || {
+        match &sweep_threads_env {
+            Some(v) => std::env::set_var("SYNCMECH_SWEEP_THREADS", v),
+            None => std::env::remove_var("SYNCMECH_SWEEP_THREADS"),
+        }
+        std::env::set_var("SYNCMECH_REPLAY_FRAGMENT", fragment.to_string());
+    };
+
     let mut figure_entries = String::new();
-    let mut deterministic_ms = 0.0f64;
+    let mut serial_ms = 0.0f64;
+    let mut fragment_ms = 0.0f64;
     let total_start = Instant::now();
     for (i, figure) in selected.iter().enumerate() {
-        let start = Instant::now();
-        let rendered = (figure.render)(&opts);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        // The output itself is checked by the golden test; here it only
-        // has to be fully produced.
-        std::hint::black_box(rendered.len());
+        let sep = if i == 0 { "" } else { ",\n" };
         if figure.deterministic {
-            deterministic_ms += wall_ms;
+            set_serial_env();
+            let start = Instant::now();
+            let serial = (figure.render)(&opts);
+            let serial_wall = start.elapsed().as_secs_f64() * 1e3;
+
+            set_parallel_env();
+            let start = Instant::now();
+            let parallel = (figure.render)(&opts);
+            let fragment_wall = start.elapsed().as_secs_f64() * 1e3;
+
+            if serial != parallel {
+                eprintln!(
+                    "error: {} diverged between the serial and fragment-parallel \
+                     renders — fragment replay is not byte-identical",
+                    figure.id
+                );
+                std::process::exit(1);
+            }
+            serial_ms += serial_wall;
+            fragment_ms += fragment_wall;
+            let speedup = serial_wall / fragment_wall.max(1e-9);
+            eprintln!(
+                "{:<8} serial {:>9.1} ms   fragments {:>9.1} ms   {speedup:>5.2}x",
+                figure.id, serial_wall, fragment_wall
+            );
+            let _ = write!(
+                figure_entries,
+                "{sep}    {{\"id\":\"{}\",\"binary\":\"{}\",\"deterministic\":true,\
+                 \"serial_wall_ms\":{serial_wall:.1},\"fragment_wall_ms\":{fragment_wall:.1},\
+                 \"speedup\":{speedup:.2}}}",
+                figure.id, figure.binary
+            );
+        } else {
+            // Real-hardware figures are not a pure function of Opts; they
+            // get one plain render and a single wall-clock number.
+            set_serial_env();
+            let start = Instant::now();
+            let rendered = (figure.render)(&opts);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(rendered.len());
+            eprintln!("{:<8} {:>9.1} ms (nondeterministic)", figure.id, wall_ms);
+            let _ = write!(
+                figure_entries,
+                "{sep}    {{\"id\":\"{}\",\"binary\":\"{}\",\"deterministic\":false,\
+                 \"wall_ms\":{wall_ms:.1}}}",
+                figure.id, figure.binary
+            );
         }
-        eprintln!("{:<8} {:>9.1} ms", figure.id, wall_ms);
-        let _ = write!(
-            figure_entries,
-            "{}    {{\"id\":\"{}\",\"binary\":\"{}\",\"deterministic\":{},\"wall_ms\":{:.1}}}",
-            if i == 0 { "" } else { ",\n" },
-            figure.id,
-            figure.binary,
-            figure.deterministic,
-            wall_ms
-        );
     }
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
 
     let json = format!(
-        "{{\n  \"schema\": \"syncmech-bench-sim/v1\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"syncmech-bench-sim/v2\",\n  \"mode\": \"{mode}\",\n  \
          \"host_cores\": {host_cores},\n  \"sweep_threads\": {threads},\n  \
+         \"replay_workers\": {replay_workers},\n  \"fragment_cycles\": {fragment},\n  \
          \"figures\": [\n{figure_entries}\n  ],\n  \
-         \"deterministic_wall_ms\": {deterministic_ms:.1},\n  \
+         \"deterministic_serial_wall_ms\": {serial_ms:.1},\n  \
+         \"deterministic_fragment_wall_ms\": {fragment_ms:.1},\n  \
          \"total_wall_ms\": {total_ms:.1}\n}}\n"
     );
     if let Err(e) = std::fs::write(&args.out, &json) {
@@ -166,6 +265,11 @@ fn main() {
     );
 
     if let Some(trace_out) = &args.trace_out {
+        // The export runs with fragment replay on: the machine records
+        // once, replays fragments concurrently, and stitches the
+        // per-fragment rings — byte-identical to a sequential traced run
+        // (pinned by the golden-trace tests).
+        set_parallel_env();
         let trace_json = bench::trace_export::export_trace(&args.trace_workload, args.quick);
         let stats = trace::chrome::validate(&trace_json)
             .unwrap_or_else(|e| panic!("exported trace failed validation: {e}"));

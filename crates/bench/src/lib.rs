@@ -105,8 +105,11 @@ usage: <figure binary> [--csv] [--quick] [--help]
   --help    show this help
 
 environment:
-  SYNCMECH_QUICK=1          same as --quick
-  SYNCMECH_SWEEP_THREADS=N  host threads for the sweep fan-out";
+  SYNCMECH_QUICK=1            same as --quick
+  SYNCMECH_SWEEP_THREADS=N    host threads for the sweep fan-out
+  SYNCMECH_REPLAY_FRAGMENT=K  record each run and replay K-cycle fragments
+                              concurrently (byte-identical output)
+  SYNCMECH_REPLAY_WORKERS=N   host threads for the fragment replay fan-out";
 
     /// Parses command-line flags on top of `base` (the environment-derived
     /// defaults). Stops at the first argument it does not recognize.

@@ -194,7 +194,7 @@ impl Slot {
 /// Waiter list with inline storage for the common case (a handful of
 /// processors parked on one word; e.g. every queue lock parks at most one).
 /// Order is preserved — wake order is part of the deterministic timing.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct PidList {
     inline: [u32; PidList::INLINE],
     len: u8,
@@ -230,7 +230,7 @@ impl PidList {
 /// the simulated shared memory, which is small and dense, so a flat table
 /// with inline waiter vectors replaces the previous `HashMap<Addr, Vec>`
 /// (no hashing, no per-entry allocation on the hot wake path).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct WatchTable {
     lists: Vec<PidList>,
 }
@@ -265,7 +265,7 @@ enum AccessKind {
     Rmw,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum ProcState {
     /// Owes the engine a request.
     Running,
@@ -296,7 +296,7 @@ enum ProcState {
 
 /// Oversubscription scheduler state: P logical processors multiplexed onto
 /// `params.cores` anonymous execution slots.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SchedState {
     p: SchedParams,
     /// Whether the processor currently holds a core.
@@ -308,6 +308,73 @@ struct SchedState {
     ready: VecDeque<usize>,
     /// When the processor's current quantum started, indexed by pid.
     slice_start: Vec<u64>,
+}
+
+/// One entry in a processor's recorded log, in program order: everything
+/// the processor's closure fed the engine (submitted requests) plus the
+/// user-level trace events it emitted between roundtrips
+/// ([`crate::Proc::trace_event`]), which replay must re-emit at the same
+/// point in the stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LogEntry {
+    /// A request submitted with the given issue time.
+    Op(u64, Op),
+    /// A closure-side trace event at the given local clock.
+    Event(u64, EventKind),
+}
+
+/// Recording-mode state: per-processor logs of everything submitted, plus
+/// machine snapshots captured at fragment boundaries.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    /// Fragment length in simulated cycles (the K of "snapshot every K").
+    fragment: u64,
+    /// The boundary the next snapshot will satisfy (a multiple of
+    /// `fragment`, monotonically increasing).
+    next_boundary: u64,
+    /// Per-processor logs, indexed by pid.
+    pub(crate) logs: Vec<Vec<LogEntry>>,
+    /// Captured machine states; `snapshots[0]` is the pre-run state.
+    pub(crate) snapshots: Vec<SnapshotState>,
+}
+
+/// Complete machine state at one fragment boundary — everything `drive`
+/// reads or writes, captured at a loop top where `outstanding == 0` (every
+/// unfinished processor is accounted for in `pending`, `watchers`,
+/// `futexq`, or the scheduler's ready queue, so no in-flight reply needs
+/// representing). Restoring it and feeding the logs reproduces the exact
+/// continuation of the run, cycle for cycle.
+#[derive(Debug, Clone)]
+pub(crate) struct SnapshotState {
+    /// The fragment boundary (in cycles) this snapshot satisfies; replay of
+    /// the *previous* fragment stops at the loop top where the minimal
+    /// pending issue first reaches it.
+    pub(crate) boundary: u64,
+    memory: Vec<Word>,
+    caches: Vec<Cache>,
+    dir: Directory,
+    net: Interconnect,
+    pub(crate) metrics: Metrics,
+    states: Vec<ProcState>,
+    watchers: WatchTable,
+    futexq: WatchTable,
+    sched: Option<SchedState>,
+    pending: BinaryHeap<Reverse<(u64, usize)>>,
+    spin_since: Vec<Option<u64>>,
+    /// Per-processor count of log entries consumed at this point — the
+    /// index of the next entry replay will feed each processor.
+    cursor: Vec<usize>,
+}
+
+/// Replay-mode state: the recorded logs, a per-processor read cursor, and
+/// the boundary (if any) at which this fragment stops.
+#[derive(Debug)]
+struct ReplaySource {
+    logs: Arc<Vec<Vec<LogEntry>>>,
+    cursor: Vec<usize>,
+    /// Stop at the first loop top where the minimal pending issue reaches
+    /// this; `None` replays to completion.
+    stop_at: Option<u64>,
 }
 
 /// The engine state proper: coherence machinery, request bookkeeping, and
@@ -347,6 +414,14 @@ pub(crate) struct EngineCore {
     /// wait even though the scheduler re-executes the probe every poll
     /// interval. `None` when the processor is not in a spin wait.
     spin_since: Vec<Option<u64>>,
+    /// Recording-mode state: present when this run logs submissions and
+    /// captures fragment-boundary snapshots. Recording never influences
+    /// simulated timing — it only observes.
+    recorder: Option<Recorder>,
+    /// Replay-mode state: present when this core re-executes a recorded
+    /// fragment. Replies are redirected into the logs instead of slots
+    /// (no processor threads exist), so replay is single-threaded.
+    replay: Option<ReplaySource>,
 }
 
 impl EngineCore {
@@ -355,6 +430,7 @@ impl EngineCore {
         init_memory: Vec<Word>,
         nprocs: usize,
         tracer: Option<Arc<trace::Tracer>>,
+        fragment: Option<u64>,
     ) -> Self {
         params.validate();
         assert!((1..=128).contains(&nprocs), "1..=128 processors supported");
@@ -366,7 +442,7 @@ impl EngineCore {
             slice_start: vec![0; nprocs],
             p,
         });
-        EngineCore {
+        let mut core = EngineCore {
             caches: (0..nprocs).map(|_| Cache::new(params.cache_lines)).collect(),
             dir: Directory::new(),
             net,
@@ -384,6 +460,171 @@ impl EngineCore {
             params,
             tracer,
             spin_since: vec![None; nprocs],
+            recorder: None,
+            replay: None,
+        };
+        if let Some(k) = fragment {
+            assert!(k > 0, "fragment length must be a positive cycle count");
+            let mut rec = Recorder {
+                fragment: k,
+                next_boundary: k,
+                logs: vec![Vec::new(); nprocs],
+                snapshots: Vec::new(),
+            };
+            // Snapshot 0 is the pre-run state: all processors Running with
+            // nothing submitted and every cursor at zero.
+            let snap0 = core.capture_with(&rec, 0);
+            rec.snapshots.push(snap0);
+            core.recorder = Some(rec);
+        }
+        core
+    }
+
+    /// Rebuilds a core from a boundary snapshot, in replay mode: restored
+    /// state plus the recorded logs starting at the snapshot's cursors.
+    /// `outstanding` is zero — replay has no processor threads, so `drive`
+    /// runs uninterrupted until `stop_at`, completion, or an error.
+    pub(crate) fn from_snapshot(
+        params: MachineParams,
+        snap: &SnapshotState,
+        logs: Arc<Vec<Vec<LogEntry>>>,
+        stop_at: Option<u64>,
+        tracer: Option<Arc<trace::Tracer>>,
+    ) -> Self {
+        let mut core = EngineCore {
+            params,
+            memory: snap.memory.clone(),
+            caches: snap.caches.clone(),
+            dir: snap.dir.clone(),
+            net: snap.net.clone(),
+            metrics: snap.metrics.clone(),
+            states: snap.states.clone(),
+            watchers: snap.watchers.clone(),
+            futexq: snap.futexq.clone(),
+            sched: snap.sched.clone(),
+            pending: snap.pending.clone(),
+            outstanding: 0,
+            aborted: false,
+            error: None,
+            user_panicked: false,
+            tracer,
+            spin_since: snap.spin_since.clone(),
+            recorder: None,
+            replay: Some(ReplaySource {
+                logs,
+                cursor: snap.cursor.clone(),
+                stop_at,
+            }),
+        };
+        // Only snapshot 0 holds Running processors (nothing submitted yet);
+        // mid-run snapshots are captured at loop tops, where every live
+        // processor has exactly one representation in the queues. Feed each
+        // Running processor its first logged action so the heap is complete.
+        for pid in 0..core.states.len() {
+            if matches!(core.states[pid], ProcState::Running) {
+                core.feed_replay(pid);
+            }
+        }
+        core
+    }
+
+    /// Drains a replayed fragment: runs until the stop boundary, the end of
+    /// the recording, or an error (impossible on a clean recording).
+    pub(crate) fn replay_drive(&mut self) -> Result<(), SimError> {
+        debug_assert!(self.replay.is_some(), "replay_drive outside replay mode");
+        self.drive(&[], usize::MAX);
+        match &self.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Takes the recorder out of a finished recording run.
+    pub(crate) fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// Clones the complete machine state into a [`SnapshotState`]. Called
+    /// only at drive-loop tops (see [`SnapshotState`]); `rec` supplies the
+    /// log cursors (`self.recorder` during a run, the fresh recorder at
+    /// construction).
+    fn capture_with(&self, rec: &Recorder, boundary: u64) -> SnapshotState {
+        SnapshotState {
+            boundary,
+            memory: self.memory.clone(),
+            caches: self.caches.clone(),
+            dir: self.dir.clone(),
+            net: self.net.clone(),
+            metrics: self.metrics.clone(),
+            states: self.states.clone(),
+            watchers: self.watchers.clone(),
+            futexq: self.futexq.clone(),
+            sched: self.sched.clone(),
+            pending: self.pending.clone(),
+            spin_since: self.spin_since.clone(),
+            cursor: rec.logs.iter().map(Vec::len).collect(),
+        }
+    }
+
+    /// Recording mode: captures a snapshot if the minimal pending issue has
+    /// crossed the next fragment boundary. One capture per loop top at
+    /// most; several boundaries falling into one inter-event gap collapse
+    /// into a single snapshot (the next boundary skips past the issue).
+    fn maybe_snapshot(&mut self) {
+        let Some(&Reverse((issue, _))) = self.pending.peek() else {
+            return;
+        };
+        let Some(rec) = self.recorder.as_ref() else {
+            return;
+        };
+        if issue < rec.next_boundary {
+            return;
+        }
+        let snap = self.capture_with(rec, rec.next_boundary);
+        let rec = self.recorder.as_mut().expect("checked above");
+        rec.snapshots.push(snap);
+        rec.next_boundary = (issue / rec.fragment + 1) * rec.fragment;
+    }
+
+    /// Replay-mode stand-in for delivering a reply: the processor's closure
+    /// is not running, so its recorded reaction — the next entry in its log
+    /// — is fed straight back into the engine. Leading `Event` entries are
+    /// re-emitted to the tracer first: in the live run the closure recorded
+    /// them between receiving this reply and its next submission, which is
+    /// exactly this moment (and while a processor runs, nothing else writes
+    /// its ring, so per-ring event order is reproduced byte for byte).
+    fn feed_replay(&mut self, pid: usize) {
+        loop {
+            let entry = {
+                let rp = self.replay.as_mut().expect("feed_replay outside replay");
+                let idx = rp.cursor[pid];
+                rp.cursor[pid] = idx + 1;
+                rp.logs[pid][idx]
+            };
+            match entry {
+                LogEntry::Event(t, kind) => {
+                    if let Some(tr) = &self.tracer {
+                        tr.record(pid, t, kind);
+                    }
+                }
+                LogEntry::Op(issue, op) => {
+                    match op {
+                        // Mirrors the Done arm of `EngineShared::submit`.
+                        Op::Done => {
+                            self.metrics.per_proc[pid].finish_time = issue;
+                            self.metrics.total_cycles = self.metrics.total_cycles.max(issue);
+                            self.states[pid] = ProcState::Done;
+                            self.release_core(pid, issue);
+                        }
+                        Op::Panicked => unreachable!("panicked runs are never recorded"),
+                        _ => {
+                            self.states[pid] = ProcState::Pending(Request { pid, issue, op });
+                            self.pending.push(Reverse((issue, pid)));
+                        }
+                    }
+                    return;
+                }
+            }
         }
     }
 
@@ -397,6 +638,25 @@ impl EngineCore {
     /// `outstanding` reach zero (`driver` is its pid).
     fn drive(&mut self, slots: &[Slot], driver: usize) {
         while self.outstanding == 0 && !self.aborted {
+            // Fragment bookkeeping happens here, at the loop top, where the
+            // heap is *complete*: `outstanding == 0` means every unfinished
+            // processor has exactly one representation in the queues and no
+            // reply is in flight. Recording captures boundary snapshots at
+            // this point, and replay stops fragments at the identical
+            // condition evaluated at the identical point — which is what
+            // makes fragment N end at exactly the state snapshot N+1 holds.
+            if self.recorder.is_some() {
+                self.maybe_snapshot();
+            }
+            if let Some(rp) = &self.replay {
+                if let (Some(stop), Some(&Reverse((issue, _)))) =
+                    (rp.stop_at, self.pending.peek())
+                {
+                    if issue >= stop {
+                        return;
+                    }
+                }
+            }
             let Some(Reverse((_, pid))) = self.pending.pop() else {
                 // No pending work. Either everyone is done, or the remainder
                 // are blocked: all-parked ⇒ lost wakeup, otherwise deadlock.
@@ -719,6 +979,12 @@ impl EngineCore {
     }
 
     fn reply(&mut self, slots: &[Slot], driver: usize, pid: usize, value: Word, now: u64) {
+        if self.replay.is_some() {
+            // No thread to notify: the logged next action stands in for the
+            // processor's deterministic reaction to (value, now).
+            self.feed_replay(pid);
+            return;
+        }
         self.states[pid] = ProcState::Running;
         self.outstanding += 1;
         slots[pid].deliver(
@@ -916,15 +1182,26 @@ impl EngineShared {
         init_memory: Vec<Word>,
         nprocs: usize,
         tracer: Option<Arc<trace::Tracer>>,
+        fragment: Option<u64>,
     ) -> Self {
         EngineShared {
-            core: Mutex::new(EngineCore::new(params, init_memory, nprocs, tracer)),
+            core: Mutex::new(EngineCore::new(params, init_memory, nprocs, tracer, fragment)),
             slots: (0..nprocs).map(|_| Slot::new()).collect(),
         }
     }
 
     pub(crate) fn slot(&self, pid: usize) -> &Slot {
         &self.slots[pid]
+    }
+
+    /// Recording mode only: appends a closure-side trace event to `pid`'s
+    /// log so replay re-emits it at the same point in the stream. No-op
+    /// (after the lock) when the run is not recording.
+    pub(crate) fn log_user_event(&self, pid: usize, t: u64, kind: EventKind) {
+        let mut core = self.core.lock().expect("engine mutex poisoned");
+        if let Some(rec) = core.recorder.as_mut() {
+            rec.logs[pid].push(LogEntry::Event(t, kind));
+        }
     }
 
     /// Submits a request and drives the engine if this submission was the
@@ -949,6 +1226,9 @@ impl EngineShared {
             return;
         }
         core.outstanding -= 1;
+        if let Some(rec) = core.recorder.as_mut() {
+            rec.logs[req.pid].push(LogEntry::Op(req.issue, req.op));
+        }
         match req.op {
             Op::Done => {
                 core.metrics.per_proc[req.pid].finish_time = req.issue;

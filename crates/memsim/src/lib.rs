@@ -74,12 +74,14 @@ pub mod metrics;
 pub mod params;
 pub mod pool;
 pub mod proc;
+pub mod replay;
 
 pub use machine::{Machine, RunReport};
 pub use metrics::{Metrics, ProcMetrics};
 pub use params::{MachineParams, SchedParams, Topology};
 pub use pool::{pool_stats, PoolStats};
 pub use proc::Proc;
+pub use replay::{FragmentReplayer, Recording};
 
 /// A machine word. The simulated memory is an array of these.
 pub type Word = u64;

@@ -6,11 +6,12 @@
 //! ([`crate::pool`]), so a sweep reuses one set of parked workers across
 //! every point instead of paying `P` spawns and joins per run.
 
-use crate::engine::EngineShared;
+use crate::engine::{EngineCore, EngineShared};
 use crate::metrics::Metrics;
 use crate::params::MachineParams;
 use crate::pool::Pool;
 use crate::proc::{Proc, SimAbort};
+use crate::replay::{FragmentReplayer, Recording};
 use crate::{SimError, Word};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
@@ -29,20 +30,20 @@ pub struct RunReport {
 /// `count_down` notifies while still holding the lock and touches nothing
 /// afterwards, so the waiter cannot observe zero — and free the latch —
 /// before the last worker is done with it.
-struct Latch {
+pub(crate) struct Latch {
     remaining: Mutex<usize>,
     done: Condvar,
 }
 
 impl Latch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Latch {
             remaining: Mutex::new(n),
             done: Condvar::new(),
         }
     }
 
-    fn count_down(&self) {
+    pub(crate) fn count_down(&self) {
         let mut left = self.remaining.lock().expect("latch mutex poisoned");
         *left -= 1;
         if *left == 0 {
@@ -50,7 +51,7 @@ impl Latch {
         }
     }
 
-    fn wait(&self) {
+    pub(crate) fn wait(&self) {
         let mut left = self.remaining.lock().expect("latch mutex poisoned");
         while *left > 0 {
             left = self.done.wait(left).expect("latch mutex poisoned");
@@ -128,6 +129,12 @@ impl Machine {
     }
 
     /// Like [`Machine::run`] but with explicit initial memory contents.
+    ///
+    /// When `SYNCMECH_REPLAY_FRAGMENT` is set the run is executed in
+    /// fragment-replay mode: a recording pass followed by concurrent
+    /// fragment replay on the worker pool (see [`crate::replay`]). The
+    /// result — metrics, memory, and any attached tracer's contents — is
+    /// byte-identical to the plain sequential run.
     pub fn run_with_init<F>(
         &self,
         nprocs: usize,
@@ -137,6 +144,15 @@ impl Machine {
     where
         F: Fn(&mut Proc) + Send + Sync,
     {
+        if let Some(fragment) = crate::replay::fragment_cycles_env() {
+            return self.run_fragmented(
+                nprocs,
+                init_memory,
+                fragment,
+                crate::replay::replay_workers_env(),
+                body,
+            );
+        }
         self.run_on_pool(Pool::global(), nprocs, init_memory, body)
     }
 
@@ -152,16 +168,111 @@ impl Machine {
     where
         F: Fn(&mut Proc) + Send + Sync,
     {
+        let core = self.run_engine(pool, nprocs, init_memory, None, body)?;
+        let (metrics, memory) = core.into_memory();
+        // A completed run must have woken every processor it ever parked:
+        // `futex_parks` counts park-side entries, `futex_woken` counts the
+        // waker-side dequeues, and an imbalance means a waiter finished the
+        // run while still in the futex queue (engine bookkeeping bug).
+        debug_assert_eq!(
+            metrics.futex_parks(),
+            metrics.futex_woken(),
+            "futex park/wake balance violated on a completed run"
+        );
+        Ok(RunReport { metrics, memory })
+    }
+
+    /// Runs the workload once, recording per-processor operation logs and
+    /// state snapshots every `fragment` simulated cycles, so the run can be
+    /// re-executed fragment-by-fragment (see [`crate::replay`]).
+    ///
+    /// The recording pass itself runs untraced: the machine's tracer (if
+    /// any) is populated exactly once, by the stitched replay, which —
+    /// because tracing is timing-invisible — records the same events a
+    /// traced live run would have.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Machine::run`]; a failed run yields no
+    /// recording.
+    pub fn run_recorded<F>(
+        &self,
+        nprocs: usize,
+        init_memory: Vec<Word>,
+        fragment: u64,
+        body: F,
+    ) -> Result<Recording, SimError>
+    where
+        F: Fn(&mut Proc) + Send + Sync,
+    {
+        let mut core = self.run_engine(Pool::global(), nprocs, init_memory, Some(fragment), body)?;
+        let recorder = core.take_recorder().expect("recording run has a recorder");
+        let (metrics, memory) = core.into_memory();
+        debug_assert_eq!(
+            metrics.futex_parks(),
+            metrics.futex_woken(),
+            "futex park/wake balance violated on a completed run"
+        );
+        Ok(Recording::new(
+            self.params.clone(),
+            nprocs,
+            fragment,
+            recorder,
+            RunReport { metrics, memory },
+        ))
+    }
+
+    /// [`Machine::run_recorded`] followed by concurrent fragment replay on
+    /// `workers` host threads, stitching per-fragment metrics and trace
+    /// events back together in fragment order. Produces a report (and
+    /// tracer contents) byte-identical to the plain sequential run.
+    pub fn run_fragmented<F>(
+        &self,
+        nprocs: usize,
+        init_memory: Vec<Word>,
+        fragment: u64,
+        workers: usize,
+        body: F,
+    ) -> Result<RunReport, SimError>
+    where
+        F: Fn(&mut Proc) + Send + Sync,
+    {
+        let recording = self.run_recorded(nprocs, init_memory, fragment, body)?;
+        Ok(FragmentReplayer::new(&recording, workers).run_traced(self.tracer.as_ref()))
+    }
+
+    /// The shared live-execution path: runs the workload's processor threads
+    /// to completion and returns the finished engine core. `fragment` turns
+    /// on recording mode (snapshots every `fragment` cycles, per-processor
+    /// op logs, no live tracing).
+    fn run_engine<F>(
+        &self,
+        pool: &Pool,
+        nprocs: usize,
+        init_memory: Vec<Word>,
+        fragment: Option<u64>,
+        body: F,
+    ) -> Result<EngineCore, SimError>
+    where
+        F: Fn(&mut Proc) + Send + Sync,
+    {
         // The abort path unwinds processor threads with a sentinel payload;
         // filter it out of panic reporting once, process-wide.
         install_simabort_hook();
+
+        let recording = fragment.is_some();
+        // A recording pass never traces live — the stitched replay is the
+        // single producer of trace events, so they are neither duplicated
+        // nor subject to ring-drop differences between the two passes.
+        let run_tracer = if recording { None } else { self.tracer.clone() };
 
         // Validates params and processor count before any worker is leased.
         let engine = Arc::new(EngineShared::new(
             self.params.clone(),
             init_memory,
             nprocs,
-            self.tracer.clone(),
+            run_tracer.clone(),
+            fragment,
         ));
         let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
@@ -173,7 +284,8 @@ impl Machine {
                 nprocs,
                 self.params.max_cycles,
                 Arc::clone(&engine),
-                self.tracer.clone(),
+                run_tracer.clone(),
+                recording,
             );
             match catch_unwind(AssertUnwindSafe(|| body(&mut proc))) {
                 Ok(()) => proc.send_done(),
@@ -227,17 +339,7 @@ impl Machine {
         if let Some(err) = core.error.clone() {
             return Err(err);
         }
-        let (metrics, memory) = core.into_memory();
-        // A completed run must have woken every processor it ever parked:
-        // `futex_parks` counts park-side entries, `futex_woken` counts the
-        // waker-side dequeues, and an imbalance means a waiter finished the
-        // run while still in the futex queue (engine bookkeeping bug).
-        debug_assert_eq!(
-            metrics.futex_parks(),
-            metrics.futex_woken(),
-            "futex park/wake balance violated on a completed run"
-        );
-        Ok(RunReport { metrics, memory })
+        Ok(core)
     }
 }
 
@@ -773,6 +875,87 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err, SimError::TimeLimit { limit: 10_000 });
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_and_resumes_from_every_snapshot() {
+        let machine = bus(4);
+        let plain = machine.run(4, 2, park_then_spin).unwrap();
+        let rec = machine
+            .run_recorded(4, vec![0; 2], 100, park_then_spin)
+            .unwrap();
+        assert_eq!(rec.report().metrics, plain.metrics);
+        assert_eq!(rec.report().memory, plain.memory);
+        assert!(rec.fragments() >= 2, "one fragment only: K too large");
+        // Snapshot/restore round-trip: resuming from any boundary and
+        // running to completion reproduces the uninterrupted run exactly.
+        for i in 0..rec.fragments() {
+            let resumed = rec.resume(i);
+            assert_eq!(resumed.metrics, plain.metrics, "resume from snapshot {i}");
+            assert_eq!(resumed.memory, plain.memory, "resume from snapshot {i}");
+        }
+    }
+
+    #[test]
+    fn fragment_replay_is_byte_identical_at_any_worker_count() {
+        let machine = bus(8);
+        let body = |p: &mut Proc| {
+            for i in 0..50 {
+                p.fetch_add(0, 1);
+                p.delay((p.pid() as u64 * 7 + i) % 13);
+            }
+        };
+        let plain = machine.run(8, 1, body).unwrap();
+        let rec = machine.run_recorded(8, vec![0], 200, body).unwrap();
+        assert!(rec.fragments() >= 4, "want several fragments to spread");
+        for workers in [1, 2, 8] {
+            let rep = crate::replay::FragmentReplayer::new(&rec, workers).run();
+            assert_eq!(rep.metrics, plain.metrics, "{workers} workers");
+            assert_eq!(rep.memory, plain.memory, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn fragment_replay_covers_the_oversubscribed_scheduler() {
+        // The scheduler's ready queue, core allocator, and quantum clocks
+        // all live in the snapshot; an oversubscribed futex workload is the
+        // worst case for restore fidelity.
+        let machine = oversub(6, 2);
+        let plain = machine.run(6, 2, park_then_spin).unwrap();
+        let rec = machine
+            .run_recorded(6, vec![0; 2], 500, park_then_spin)
+            .unwrap();
+        assert_eq!(rec.report().metrics, plain.metrics);
+        for i in 0..rec.fragments() {
+            assert_eq!(rec.resume(i).metrics, plain.metrics, "snapshot {i}");
+        }
+        let rep = crate::replay::FragmentReplayer::new(&rec, 4).run();
+        assert_eq!(rep.metrics, plain.metrics);
+        assert_eq!(rep.memory, plain.memory);
+    }
+
+    #[test]
+    fn run_fragmented_routes_to_the_same_report() {
+        let machine = bus(4);
+        let plain = machine.run(4, 2, park_then_spin).unwrap();
+        let frag = machine
+            .run_fragmented(4, vec![0; 2], 150, 2, park_then_spin)
+            .unwrap();
+        assert_eq!(frag.metrics, plain.metrics);
+        assert_eq!(frag.memory, plain.memory);
+    }
+
+    #[test]
+    fn recorded_run_propagates_errors_without_a_recording() {
+        let err = bus(2)
+            .run_recorded(2, vec![0], 100, |p| {
+                p.spin_until(0, 1); // nobody ever stores 1
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { waiting } => assert_eq!(waiting.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
     }
 
     #[test]

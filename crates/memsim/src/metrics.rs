@@ -44,6 +44,44 @@ impl ProcMetrics {
     pub fn ops(&self) -> u64 {
         self.loads + self.stores + self.rmws
     }
+
+    /// Counter growth since `before` (an earlier snapshot of this same
+    /// processor). Every field except `finish_time` is a monotonic counter
+    /// and subtracts; `finish_time` is set-once, so the delta carries the
+    /// current value (0 until the processor finishes) and merges by max.
+    pub fn delta_since(&self, before: &ProcMetrics) -> ProcMetrics {
+        ProcMetrics {
+            loads: self.loads - before.loads,
+            stores: self.stores - before.stores,
+            rmws: self.rmws - before.rmws,
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            upgrades: self.upgrades - before.upgrades,
+            wakeups: self.wakeups - before.wakeups,
+            spin_wait_cycles: self.spin_wait_cycles - before.spin_wait_cycles,
+            futex_parks: self.futex_parks - before.futex_parks,
+            futex_woken: self.futex_woken - before.futex_woken,
+            ctx_switches: self.ctx_switches - before.ctx_switches,
+            finish_time: self.finish_time,
+        }
+    }
+
+    /// Folds a later interval's [`ProcMetrics::delta_since`] into this
+    /// accumulated view.
+    pub fn absorb(&mut self, delta: &ProcMetrics) {
+        self.loads += delta.loads;
+        self.stores += delta.stores;
+        self.rmws += delta.rmws;
+        self.hits += delta.hits;
+        self.misses += delta.misses;
+        self.upgrades += delta.upgrades;
+        self.wakeups += delta.wakeups;
+        self.spin_wait_cycles += delta.spin_wait_cycles;
+        self.futex_parks += delta.futex_parks;
+        self.futex_woken += delta.futex_woken;
+        self.ctx_switches += delta.ctx_switches;
+        self.finish_time = self.finish_time.max(delta.finish_time);
+    }
 }
 
 /// Whole-machine counters plus the per-processor breakdown.
@@ -128,6 +166,57 @@ impl Metrics {
     /// processor must have been woken for the run to finish).
     pub fn futex_woken(&self) -> u64 {
         self.per_proc.iter().map(|p| p.futex_woken).sum()
+    }
+
+    /// Counter growth since `before` (a snapshot of this machine earlier in
+    /// the same run): per-processor deltas plus machine-wide counter
+    /// differences. `total_cycles` is a high-water mark, not a counter —
+    /// the delta carries the current value and merges by max.
+    ///
+    /// # Panics
+    ///
+    /// If the processor counts differ.
+    pub fn delta_since(&self, before: &Metrics) -> Metrics {
+        assert_eq!(
+            self.per_proc.len(),
+            before.per_proc.len(),
+            "metrics deltas need matching processor counts"
+        );
+        Metrics {
+            per_proc: self
+                .per_proc
+                .iter()
+                .zip(&before.per_proc)
+                .map(|(now, then)| now.delta_since(then))
+                .collect(),
+            interconnect_transactions: self.interconnect_transactions
+                - before.interconnect_transactions,
+            invalidations: self.invalidations - before.invalidations,
+            writebacks: self.writebacks - before.writebacks,
+            total_cycles: self.total_cycles,
+        }
+    }
+
+    /// Folds a later interval's [`Metrics::delta_since`] into this
+    /// accumulated view. Summing every fragment's delta (in any order) onto
+    /// the run's starting metrics reproduces the final metrics exactly.
+    ///
+    /// # Panics
+    ///
+    /// If the processor counts differ.
+    pub fn absorb(&mut self, delta: &Metrics) {
+        assert_eq!(
+            self.per_proc.len(),
+            delta.per_proc.len(),
+            "metrics merges need matching processor counts"
+        );
+        for (acc, d) in self.per_proc.iter_mut().zip(&delta.per_proc) {
+            acc.absorb(d);
+        }
+        self.interconnect_transactions += delta.interconnect_transactions;
+        self.invalidations += delta.invalidations;
+        self.writebacks += delta.writebacks;
+        self.total_cycles = self.total_cycles.max(delta.total_cycles);
     }
 
     /// Global cache hit rate in `[0, 1]`; 0 when no accesses happened.

@@ -56,6 +56,10 @@ pub struct Proc {
     spin_budget: u32,
     /// The machine's event recorder, when one is attached.
     tracer: Option<Arc<trace::Tracer>>,
+    /// Whether the engine is recording this run for fragment replay; when
+    /// set, semantic events reported via [`Proc::trace_event`] are appended
+    /// to the engine's per-processor log so replay can re-emit them.
+    recording: bool,
 }
 
 impl Proc {
@@ -67,6 +71,7 @@ impl Proc {
         max_cycles: u64,
         engine: Arc<EngineShared>,
         tracer: Option<Arc<trace::Tracer>>,
+        recording: bool,
     ) -> Self {
         engine.slot(pid).register_consumer();
         Proc {
@@ -77,6 +82,7 @@ impl Proc {
             engine,
             spin_budget: host_spin_cap(),
             tracer,
+            recording,
         }
     }
 
@@ -144,6 +150,9 @@ impl Proc {
     pub fn trace_event(&self, kind: trace::EventKind) {
         if let Some(tr) = &self.tracer {
             tr.record(self.pid, self.now, kind);
+        }
+        if self.recording {
+            self.engine.log_user_event(self.pid, self.now, kind);
         }
     }
 

@@ -1,0 +1,409 @@
+//! Fragment-parallel replay of recorded simulations.
+//!
+//! A simulation is a pure function of its parameters and program, but the
+//! live run is inherently serial in simulated time: the engine executes one
+//! memory event after another. This module splits that timeline into
+//! *fragments* so regeneration can use every host core:
+//!
+//! 1. **Record** ([`crate::Machine::run_recorded`]): run the workload once,
+//!    normally, while the engine logs every processor's submissions (and
+//!    user-level trace events) and clones the complete machine state every
+//!    K simulated cycles ([`Recording`]).
+//! 2. **Replay** ([`FragmentReplayer`]): re-execute the fragments
+//!    *concurrently*, each from its snapshot, feeding the logged operations
+//!    back into the engine instead of running processor threads. Replay of
+//!    fragment `i` stops exactly where snapshot `i + 1` was captured, so
+//!    per-fragment [`Metrics`] deltas and trace events stitch back together
+//!    — in fragment order — into a result byte-identical to the live run.
+//!
+//! Replayed fragments are single-threaded and independent, so N fragments
+//! scale across N workers with no synchronization beyond a grab counter.
+//! The combination never beats the plain run for a *single* simulation on a
+//! single core (the recording pass already runs the whole workload); the
+//! payoff is on multi-core hosts, where long single runs — previously a
+//! serial bottleneck — decompose into pool-sized work, composing with the
+//! existing cross-cell sweep axis (`SYNCMECH_SWEEP_THREADS`).
+//!
+//! The environment knobs, parsed strictly like every other `SYNCMECH_*`
+//! knob (garbage aborts; it never silently falls back):
+//!
+//! * `SYNCMECH_REPLAY_FRAGMENT` — fragment length in simulated cycles;
+//!   setting it routes every [`crate::Machine::run`] through
+//!   record-then-replay ([`fragment_cycles_env`]).
+//! * `SYNCMECH_REPLAY_WORKERS` — host threads for the replay fan-out,
+//!   defaulting to the host's parallelism ([`replay_workers_env`]).
+
+use crate::engine::{EngineCore, LogEntry, Recorder, SnapshotState};
+use crate::machine::{Latch, RunReport};
+use crate::metrics::Metrics;
+use crate::params::MachineParams;
+use crate::pool::Pool;
+use crate::Word;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use trace::Tracer;
+
+/// A completed run's operation logs and fragment-boundary snapshots,
+/// produced by [`crate::Machine::run_recorded`].
+///
+/// The recording owns everything replay needs: machine parameters, one log
+/// per processor (every submitted request plus user-level trace events, in
+/// program order), and the machine states captured at fragment boundaries.
+/// `snapshots[0]` is the pre-run state, so indices `0..fragments()` each
+/// name a replayable span: from snapshot `i` up to where snapshot `i + 1`
+/// was captured (the last span runs to completion).
+pub struct Recording {
+    params: MachineParams,
+    nprocs: usize,
+    fragment: u64,
+    logs: Arc<Vec<Vec<LogEntry>>>,
+    snapshots: Vec<SnapshotState>,
+    report: RunReport,
+}
+
+impl Recording {
+    pub(crate) fn new(
+        params: MachineParams,
+        nprocs: usize,
+        fragment: u64,
+        recorder: Recorder,
+        report: RunReport,
+    ) -> Self {
+        Recording {
+            params,
+            nprocs,
+            fragment,
+            logs: Arc::new(recorder.logs),
+            snapshots: recorder.snapshots,
+            report,
+        }
+    }
+
+    /// Number of replayable fragments (equivalently, snapshots captured —
+    /// at least 1, the pre-run state).
+    pub fn fragments(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The configured fragment length in simulated cycles. Snapshots land
+    /// on the first engine step at or past each multiple of this.
+    pub fn fragment_cycles(&self) -> u64 {
+        self.fragment
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The recording pass's own result — the ground truth every replay
+    /// must reproduce.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Replays from snapshot `index` until `stop_at` (a boundary in
+    /// simulated cycles) or, when `None`, to completion. Returns the
+    /// engine's final cumulative metrics and memory.
+    fn replay_span(
+        &self,
+        index: usize,
+        stop_at: Option<u64>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> (Metrics, Vec<Word>) {
+        let mut core = EngineCore::from_snapshot(
+            self.params.clone(),
+            &self.snapshots[index],
+            Arc::clone(&self.logs),
+            stop_at,
+            tracer,
+        );
+        if let Err(e) = core.replay_drive() {
+            // The recording pass completed cleanly, and replay re-executes
+            // the same deterministic schedule; any error here is an engine
+            // snapshot/restore bug, not a property of the workload.
+            panic!("replay of a clean recording failed at fragment {index}: {e}");
+        }
+        core.into_memory()
+    }
+
+    /// Restores snapshot `index` and replays to completion — the
+    /// snapshot/restore round-trip. The result equals [`Recording::report`]
+    /// for every index (pinned by the determinism test suite).
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range, or on an engine replay bug.
+    pub fn resume(&self, index: usize) -> RunReport {
+        let (metrics, memory) = self.replay_span(index, None, None);
+        RunReport { metrics, memory }
+    }
+}
+
+impl std::fmt::Debug for Recording {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recording")
+            .field("nprocs", &self.nprocs)
+            .field("fragment", &self.fragment)
+            .field("fragments", &self.fragments())
+            .finish()
+    }
+}
+
+/// What one replayed fragment contributes to the stitched result.
+struct FragmentOutcome {
+    /// Counter growth across the fragment ([`Metrics::delta_since`]).
+    delta: Metrics,
+    /// Memory at the fragment's end (only the last fragment's survives).
+    memory: Vec<Word>,
+    /// The fragment's private tracer, absorbed into the target in order.
+    tracer: Option<Arc<Tracer>>,
+}
+
+/// Replays a [`Recording`]'s fragments concurrently on the persistent
+/// worker pool and stitches the results back together in fragment order.
+pub struct FragmentReplayer<'a> {
+    recording: &'a Recording,
+    workers: usize,
+}
+
+impl<'a> FragmentReplayer<'a> {
+    /// A replayer using up to `workers` host threads (the calling thread
+    /// counts as one; the shortfall is leased from the worker pool).
+    ///
+    /// # Panics
+    ///
+    /// If `workers` is zero.
+    pub fn new(recording: &'a Recording, workers: usize) -> Self {
+        assert!(workers >= 1, "fragment replay needs at least one host worker");
+        FragmentReplayer { recording, workers }
+    }
+
+    /// Replays every fragment and returns the stitched report, which equals
+    /// the recording pass's own [`Recording::report`] byte for byte.
+    pub fn run(&self) -> RunReport {
+        self.run_traced(None)
+    }
+
+    /// Like [`FragmentReplayer::run`], additionally recording trace events
+    /// into `target`. Each fragment replays into a private tracer of the
+    /// target's mode and capacity; the privates are absorbed into `target`
+    /// in fragment order, reproducing what a traced sequential run records
+    /// (tracing is timing-invisible, so replay emits the same events).
+    ///
+    /// `target` must be quiescent — no concurrent recorders — and must
+    /// cover the recording's processor count.
+    pub fn run_traced(&self, target: Option<&Arc<Tracer>>) -> RunReport {
+        let rec = self.recording;
+        let n = rec.fragments();
+        let run_one = |i: usize| -> FragmentOutcome {
+            let frag_tracer =
+                target.map(|t| Arc::new(Tracer::new(t.mode(), t.nprocs(), t.capacity())));
+            // Fragment i ends exactly where snapshot i + 1 was captured;
+            // the last fragment runs out the rest of the recording.
+            let stop_at = rec.snapshots.get(i + 1).map(|s| s.boundary);
+            let (end, memory) = rec.replay_span(i, stop_at, frag_tracer.clone());
+            FragmentOutcome {
+                delta: end.delta_since(&rec.snapshots[i].metrics),
+                memory,
+                tracer: frag_tracer,
+            }
+        };
+
+        let outcomes: Vec<Mutex<Option<FragmentOutcome>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        // Fragments are claimed through a grab counter, so stragglers don't
+        // convoy behind a fixed pre-partition. Never unwinds — the pool and
+        // the latch depend on that.
+        let worker_main = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| run_one(i))) {
+                Ok(out) => {
+                    *outcomes[i].lock().expect("outcome mutex poisoned") = Some(out);
+                }
+                Err(payload) => {
+                    let mut slot = first_panic.lock().expect("panic slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    break;
+                }
+            }
+        };
+
+        let extra = (self.workers - 1).min(n.saturating_sub(1));
+        {
+            let replays_done = Latch::new(extra);
+            let lease = Pool::global().lease(extra);
+            for w in 0..extra {
+                let worker_main = &worker_main;
+                let replays_done = &replays_done;
+                // SAFETY: `replays_done.wait()` below does not return until
+                // every job has executed `count_down` as its final action,
+                // so all borrows (the recording, outcomes, the counter, the
+                // latch) outlive the jobs, and the lease is only dropped
+                // once the workers are idle again.
+                unsafe {
+                    lease.dispatch(
+                        w,
+                        Box::new(move || {
+                            worker_main();
+                            replays_done.count_down();
+                        }),
+                    );
+                }
+            }
+            worker_main();
+            replays_done.wait();
+        }
+        if let Some(payload) = first_panic.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
+
+        // Stitch in fragment order: deltas sum onto the pre-run metrics,
+        // trace events append in timeline order, the last fragment's memory
+        // is the final memory.
+        let mut metrics = rec.snapshots[0].metrics.clone();
+        let mut memory = Vec::new();
+        for (i, cell) in outcomes.iter().enumerate() {
+            let out = cell
+                .lock()
+                .expect("outcome mutex poisoned")
+                .take()
+                .unwrap_or_else(|| panic!("fragment {i} never produced an outcome"));
+            metrics.absorb(&out.delta);
+            if let (Some(target), Some(frag)) = (target, &out.tracer) {
+                target.absorb(frag);
+            }
+            if i == n - 1 {
+                memory = out.memory;
+            }
+        }
+        debug_assert_eq!(
+            metrics, rec.report.metrics,
+            "stitched metrics diverged from the recording pass"
+        );
+        debug_assert_eq!(
+            memory, rec.report.memory,
+            "stitched memory diverged from the recording pass"
+        );
+        RunReport { metrics, memory }
+    }
+}
+
+/// The policy behind [`fragment_cycles_env`], with the environment lookup
+/// factored out for testability: `None` means the variable is unset (no
+/// fragment replay), `Some(k)` a fragment length of `k` simulated cycles.
+///
+/// # Errors
+///
+/// Zero and non-numeric values are rejected with an actionable message —
+/// a user who sets the variable meant to control replay, and a typo must
+/// not silently disable it.
+pub fn fragment_cycles_from(var: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = var else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Err(
+            "SYNCMECH_REPLAY_FRAGMENT=0: a fragment must cover at least one simulated cycle; \
+             set a positive cycle count, or unset the variable to run without fragment replay"
+                .to_string(),
+        ),
+        Ok(k) => Ok(Some(k)),
+        Err(_) => Err(format!(
+            "SYNCMECH_REPLAY_FRAGMENT={raw:?} is not a positive integer; set a fragment length \
+             in simulated cycles like 25000, or unset the variable to run without fragment replay"
+        )),
+    }
+}
+
+/// Fragment length from `SYNCMECH_REPLAY_FRAGMENT`, read fresh on every
+/// call (runs inside one process may toggle it); `None` when unset.
+///
+/// # Panics
+///
+/// On a zero or non-numeric value (see [`fragment_cycles_from`]).
+pub fn fragment_cycles_env() -> Option<u64> {
+    let var = std::env::var("SYNCMECH_REPLAY_FRAGMENT").ok();
+    match fragment_cycles_from(var.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// The policy behind [`replay_workers_env`]: `None` (unset) means the
+/// host's available parallelism.
+///
+/// # Errors
+///
+/// Zero and non-numeric values are rejected with an actionable message.
+pub fn replay_workers_from(var: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = var else {
+        return Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1));
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "SYNCMECH_REPLAY_WORKERS=0: fragment replay needs at least one host worker; \
+             set a positive count, or unset the variable to use the host's parallelism"
+                .to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "SYNCMECH_REPLAY_WORKERS={raw:?} is not a positive integer; set a worker count \
+             like 4, or unset the variable to use the host's parallelism"
+        )),
+    }
+}
+
+/// Host threads for the replay fan-out: `SYNCMECH_REPLAY_WORKERS` if set,
+/// otherwise the host's available parallelism.
+///
+/// # Panics
+///
+/// On a zero or non-numeric value (see [`replay_workers_from`]).
+pub fn replay_workers_env() -> usize {
+    let var = std::env::var("SYNCMECH_REPLAY_WORKERS").ok();
+    match replay_workers_from(var.as_deref()) {
+        Ok(n) => n,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_env_is_validated_strictly() {
+        assert_eq!(fragment_cycles_from(None).unwrap(), None);
+        assert_eq!(fragment_cycles_from(Some("25000")).unwrap(), Some(25_000));
+        assert_eq!(fragment_cycles_from(Some(" 7 ")).unwrap(), Some(7));
+        let zero = fragment_cycles_from(Some("0")).unwrap_err();
+        assert!(zero.contains("at least one simulated cycle"), "got: {zero}");
+        for bad in ["", "many", "-5", "2.5"] {
+            let err = fragment_cycles_from(Some(bad)).unwrap_err();
+            assert!(err.contains("not a positive integer"), "{bad:?} got: {err}");
+        }
+    }
+
+    #[test]
+    fn replay_workers_env_is_validated_strictly() {
+        assert!(replay_workers_from(None).unwrap() >= 1);
+        assert_eq!(replay_workers_from(Some("4")).unwrap(), 4);
+        let zero = replay_workers_from(Some("0")).unwrap_err();
+        assert!(zero.contains("at least one host worker"), "got: {zero}");
+        for bad in ["", "two", "-1"] {
+            let err = replay_workers_from(Some(bad)).unwrap_err();
+            assert!(err.contains("not a positive integer"), "{bad:?} got: {err}");
+        }
+    }
+}

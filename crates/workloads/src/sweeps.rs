@@ -7,6 +7,19 @@
 //! them out across host threads via [`parallel_cells`] and reassemble the
 //! series in grid order: the output is bit-for-bit identical whether the
 //! cells ran sequentially, interleaved, or on different machines.
+//!
+//! Sweeps have **two independent parallelism axes** that compose:
+//!
+//! * **across cells** — [`parallel_cells`] under `SYNCMECH_SWEEP_THREADS`
+//!   ([`sweep_threads`]), the coarse axis; and
+//! * **within a run** — fragment replay under `SYNCMECH_REPLAY_FRAGMENT`
+//!   ([`replay_fragment`]), which records each cell's simulation once and
+//!   re-executes its timeline fragments concurrently on the same worker
+//!   pool (`memsim::replay`), the fine axis that keeps cores busy when a
+//!   sweep tail is a few long cells (high P) or a figure is one big run.
+//!
+//! Both produce bit-identical output at any thread/fragment setting, so
+//! enabling either (or both) never changes a figure.
 
 use crate::barrierbench::{self, BarrierConfig};
 use crate::csbench::{self, CsConfig};
@@ -82,6 +95,21 @@ pub fn sweep_threads_from(var: Option<&str>) -> Result<usize, String> {
              like 4, or unset the variable to use the host's parallelism"
         )),
     }
+}
+
+/// Fragment length (simulated cycles) for intra-run replay parallelism:
+/// `SYNCMECH_REPLAY_FRAGMENT` if set, `None` otherwise (plain runs). The
+/// knob is consumed inside `memsim` — every `Machine::run` a sweep cell
+/// performs routes through record-then-replay when it is set — so this
+/// delegation exists for callers that want to *report* the effective
+/// setting (`bench_sim` records it in BENCH_sim.json).
+///
+/// # Panics
+///
+/// If `SYNCMECH_REPLAY_FRAGMENT` is set to zero or a non-numeric value
+/// (see `memsim::replay::fragment_cycles_from`).
+pub fn replay_fragment() -> Option<u64> {
+    memsim::replay::fragment_cycles_env()
 }
 
 /// Runs `cell(0..n)` across up to `threads` host threads and returns the

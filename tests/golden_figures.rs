@@ -27,6 +27,113 @@ fn golden_path(binary: &str) -> PathBuf {
         .join(format!("{binary}.txt"))
 }
 
+/// A minimal unified diff (3 context lines, `@@ -a,b +c,d @@` hunk
+/// headers) between two small texts — what the failure message prints
+/// instead of both blobs. Line-level LCS; figure files are a few hundred
+/// lines at most, so the quadratic table is immaterial.
+fn unified_diff(old: &str, new: &str) -> String {
+    const CONTEXT: usize = 3;
+    #[derive(Clone, Copy)]
+    enum Edit {
+        Keep(usize),
+        Del(usize),
+        Add(usize),
+    }
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let (n, m) = (a.len(), b.len());
+    // lcs[i][j] = LCS length of a[i..] and b[j..].
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut edits = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            edits.push(Edit::Keep(i));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            edits.push(Edit::Del(i));
+            i += 1;
+        } else {
+            edits.push(Edit::Add(j));
+            j += 1;
+        }
+    }
+    edits.extend((i..n).map(Edit::Del));
+    edits.extend((j..m).map(Edit::Add));
+
+    let changed: Vec<usize> = edits
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !matches!(e, Edit::Keep(..)))
+        .map(|(k, _)| k)
+        .collect();
+    if changed.is_empty() {
+        // Same lines, different bytes: only a trailing-newline difference
+        // survives the `lines()` view.
+        return "  (line contents identical; trailing newline differs)".to_string();
+    }
+
+    // Track the old/new line index reached before each edit, for headers.
+    let mut pos = Vec::with_capacity(edits.len() + 1);
+    let (mut oi, mut nj) = (0usize, 0usize);
+    for e in &edits {
+        pos.push((oi, nj));
+        match e {
+            Edit::Keep(..) => {
+                oi += 1;
+                nj += 1;
+            }
+            Edit::Del(_) => oi += 1,
+            Edit::Add(_) => nj += 1,
+        }
+    }
+    pos.push((oi, nj));
+
+    let mut out = String::new();
+    let mut k = 0;
+    while k < changed.len() {
+        let first = changed[k];
+        let mut last = first;
+        k += 1;
+        // Merge changes whose context windows touch into one hunk.
+        while k < changed.len() && changed[k] - last <= 2 * CONTEXT + 1 {
+            last = changed[k];
+            k += 1;
+        }
+        let lo = first.saturating_sub(CONTEXT);
+        let hi = (last + CONTEXT + 1).min(edits.len());
+        let old_count = pos[hi].0 - pos[lo].0;
+        let new_count = pos[hi].1 - pos[lo].1;
+        out.push_str(&format!(
+            "  @@ -{},{} +{},{} @@\n",
+            pos[lo].0 + 1,
+            old_count,
+            pos[lo].1 + 1,
+            new_count
+        ));
+        for e in &edits[lo..hi] {
+            let (sign, line) = match e {
+                Edit::Keep(x) => (' ', a[*x]),
+                Edit::Del(x) => ('-', a[*x]),
+                Edit::Add(y) => ('+', b[*y]),
+            };
+            out.push_str(&format!("  {sign}{line}\n"));
+        }
+    }
+    out.pop(); // drop the final newline; the caller joins failures
+    out
+}
+
 #[test]
 fn quick_mode_figures_match_golden_files() {
     let opts = Opts {
@@ -46,21 +153,11 @@ fn quick_mode_figures_match_golden_files() {
         let golden = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("reading {}: {e} (run with SYNCMECH_BLESS=1 to create)", path.display()));
         if rendered != golden {
-            // Find the first differing line for a readable failure.
-            let diff_line = rendered
-                .lines()
-                .zip(golden.lines())
-                .position(|(a, b)| a != b)
-                .map(|i| {
-                    format!(
-                        "first diff at line {}:\n  golden: {}\n  actual: {}",
-                        i + 1,
-                        golden.lines().nth(i).unwrap_or(""),
-                        rendered.lines().nth(i).unwrap_or("")
-                    )
-                })
-                .unwrap_or_else(|| "outputs differ in length only".to_string());
-            failures.push(format!("{}: {diff_line}", figure.id));
+            failures.push(format!(
+                "{}: golden (-) vs actual (+):\n{}",
+                figure.id,
+                unified_diff(&golden, &rendered)
+            ));
         }
     }
     assert!(
@@ -69,6 +166,25 @@ fn quick_mode_figures_match_golden_files() {
          re-bless with SYNCMECH_BLESS=1 and regenerate results/:\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn unified_diff_prints_hunks_with_context() {
+    let old: String = (1..=30).map(|i| format!("line {i}\n")).collect();
+    let new = old.replace("line 10\n", "line ten\n").replace("line 25\n", "");
+    let d = unified_diff(&old, &new);
+    // First hunk: one changed line at 10 with three lines of context.
+    assert!(d.contains("@@ -7,7 +7,7 @@"), "got:\n{d}");
+    assert!(d.contains("-line 10"), "got:\n{d}");
+    assert!(d.contains("+line ten"), "got:\n{d}");
+    // Second hunk: a pure deletion, far enough away to be its own hunk.
+    assert!(d.contains("@@ -22,7 +22,6 @@"), "got:\n{d}");
+    assert!(d.contains("-line 25"), "got:\n{d}");
+    // Lines far from any change are elided.
+    assert!(!d.contains("line 3\n"), "far context not elided:\n{d}");
+    // A trailing-newline-only difference is still reported.
+    let d2 = unified_diff("a\nb\n", "a\nb");
+    assert!(d2.contains("trailing newline"), "got:\n{d2}");
 }
 
 #[test]
