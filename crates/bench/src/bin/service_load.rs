@@ -1,0 +1,114 @@
+//! CI smoke driver for the sharded lock service: runs the *real-thread*
+//! load generator (`workloads::service_load::run_real`) against a live
+//! `service::LockService`, prints a wall-clock summary, and verifies the
+//! teardown invariants (no keys left attached, machine-wide futex
+//! accounting balanced).
+//!
+//! This binary is intentionally **not** in the figure registry: its
+//! numbers are host wall-clock. The deterministic counterparts are
+//! `fig11_service_throughput` and `table6_service_tail`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use workloads::service_load::{run_real, RealServiceConfig};
+
+const USAGE: &str = "\
+usage: service_load [--quick] [--trace-out PATH] [--help]
+
+  --quick           reduced request count (CI smoke)
+  --trace-out PATH  record the run's park/wake events and write a Chrome
+                    trace-event JSON to PATH
+  --help            show this help
+
+environment:
+  SYNCMECH_SERVICE_THREADS=N  worker threads (default: host parallelism)
+  SYNCMECH_SERVICE_SHARDS=N   lock-table shards (default: 256)";
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if quick || std::env::var("SYNCMECH_QUICK").map(|v| v == "1").unwrap_or(false) {
+        quick = true;
+    }
+
+    let tracer = trace_out.as_ref().map(|_| {
+        let tracer = trace::Tracer::full(parking::trace_hooks::TRACE_SLOTS);
+        parking::trace_hooks::install(Arc::clone(&tracer));
+        tracer
+    });
+
+    let threads = service::service_threads();
+    let requests_per_thread = if quick { 2_000 } else { 20_000 };
+    let cfg = RealServiceConfig::smoke(threads, requests_per_thread);
+    let svc = service::LockService::new();
+    let r = run_real(&svc, &cfg);
+
+    let ms = r.elapsed_ns as f64 / 1e6;
+    println!("service_load: real-thread smoke (wall-clock; not a figure)");
+    println!(
+        "  workers {threads}, requests {} ({} keys, Zipf {}), elapsed {ms:.1} ms, {:.0} ops/ms",
+        r.completed,
+        cfg.keys,
+        cfg.zipf_s,
+        r.completed as f64 / ms
+    );
+    println!(
+        "  wait ns p50 {} p99 {} p999 {} max {}",
+        r.wait_ns.quantile(0.5),
+        r.wait_ns.quantile(0.99),
+        r.wait_ns.quantile(0.999),
+        r.wait_ns.max()
+    );
+    println!(
+        "  table: shards {}, live {}, peak live {}, capacity {}, reuses {}",
+        r.stats.shards, r.stats.live, r.stats.peak_live, r.stats.capacity, r.stats.reuses
+    );
+    println!(
+        "  futex: parks {} wakes {} resumes {}",
+        r.futex.parks, r.futex.wakes, r.futex.resumes
+    );
+
+    if let (Some(path), Some(tracer)) = (&trace_out, &tracer) {
+        let json = trace::chrome::export_tracer(tracer, "syncmech service_load smoke");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  trace written to {path}");
+    }
+
+    if r.stats.live != 0 {
+        eprintln!("FAIL: {} keys still attached after drain", r.stats.live);
+        return ExitCode::FAILURE;
+    }
+    if !r.futex.balanced() {
+        eprintln!(
+            "FAIL: futex accounting unbalanced at teardown: parks {} wakes {} resumes {}",
+            r.futex.parks, r.futex.wakes, r.futex.resumes
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("  OK: table drained, parks == wakes == resumes");
+    ExitCode::SUCCESS
+}

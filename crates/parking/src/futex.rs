@@ -4,10 +4,20 @@
 //! variants need: [`futex_wait`] blocks iff an `AtomicU64` still holds an
 //! expected value, [`futex_wake`] releases up to `n` waiters of that word
 //! in FIFO order. There is no kernel to lean on here, so the wait queue is
-//! a process-global **parking lot**: a fixed array of buckets, each a
+//! a process-global **parking lot**: an array of buckets, each a
 //! mutex-protected FIFO of parked threads, indexed by a hash of the word's
 //! address. Any `AtomicU64` in the process is a futex — no per-word queue
 //! allocation, no registration.
+//!
+//! The lot is a first-class type, [`ParkingLot`]: the `service` crate's
+//! sharded per-key lock table embeds its own lot sized to the expected
+//! waiter population, while the module-level functions serve the blocking
+//! primitives from one process-global instance. Buckets are cache-line
+//! padded (a parked waiter's bucket lock must not false-share with its
+//! neighbours') and the bucket count is a power of two so indexing is a
+//! mask of the full 64-bit [`mix64`] hash — every input bit diffuses into
+//! the bucket index, unlike the previous fixed `hash >> (64 - 7)` scheme
+//! that consulted only the top 7 bits of a single multiply.
 //!
 //! The lost-wakeup argument is the whole point of the design. The waiter
 //! re-checks the word *after* taking the bucket lock and enqueues while
@@ -18,16 +28,82 @@
 //! parks. `thread::park` itself may return spuriously, which is fine —
 //! [`futex_wait`] consumes parks in a loop gated on its own wake flag, and
 //! callers loop on their real condition as futex discipline requires.
+//!
+//! Every lot additionally feeds the **machine-wide futex accounting**
+//! ([`totals`]): how many waiters actually parked, how many wake
+//! dequeues were issued, and how many parked waiters resumed. At any
+//! quiescent point `parks == wakes == resumes` — each park is ended by
+//! exactly one dequeue, and each dequeue resumes exactly one parked
+//! thread — which the stress suites assert at teardown.
 
+use qsm::CachePadded;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, Thread};
 
-/// Number of parking-lot buckets. Collisions are correctness-neutral (the
-/// queue entries carry the full address) and only contend the bucket lock,
-/// so a modest fixed count beats sizing to the thread population.
-const BUCKETS: usize = 64;
+/// Number of buckets in the process-global parking lot. Collisions are
+/// correctness-neutral (the queue entries carry the full address) and only
+/// contend the bucket lock, so a modest fixed count beats sizing to the
+/// thread population; embedders with unusual waiter populations build
+/// their own [`ParkingLot`].
+const GLOBAL_BUCKETS: usize = 64;
+
+/// Finalizing 64-bit mix (the SplitMix64 / Stafford "variant 13"
+/// finalizer): full avalanche, so every input bit flips each output bit
+/// with probability ~1/2. Shared by the parking lot's bucket index and the
+/// `service` crate's key-to-shard mapping — both mask the *low* bits of
+/// the result, which a bare multiplicative hash leaves poorly mixed.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Machine-wide futex accounting: parks, wake dequeues, and resumes across
+/// every [`ParkingLot`] in the process (global and embedded alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FutexTotals {
+    /// Threads that actually parked (enqueued and blocked).
+    pub parks: u64,
+    /// Waiters dequeued by `futex_wake` calls.
+    pub wakes: u64,
+    /// Parked threads that returned from their park.
+    pub resumes: u64,
+}
+
+impl FutexTotals {
+    /// `self - earlier`, for delta accounting around a test phase.
+    pub fn since(&self, earlier: &FutexTotals) -> FutexTotals {
+        FutexTotals {
+            parks: self.parks - earlier.parks,
+            wakes: self.wakes - earlier.wakes,
+            resumes: self.resumes - earlier.resumes,
+        }
+    }
+
+    /// True when every park has been matched by a wake dequeue and a
+    /// resume — the quiescent-state invariant.
+    pub fn balanced(&self) -> bool {
+        self.parks == self.wakes && self.wakes == self.resumes
+    }
+}
+
+static TOTAL_PARKS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_WAKES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_RESUMES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the machine-wide futex accounting. Only meaningful at quiescent
+/// points (no thread mid-park); the counters themselves are exact.
+pub fn totals() -> FutexTotals {
+    FutexTotals {
+        parks: TOTAL_PARKS.load(Ordering::SeqCst),
+        wakes: TOTAL_WAKES.load(Ordering::SeqCst),
+        resumes: TOTAL_RESUMES.load(Ordering::SeqCst),
+    }
+}
 
 /// One parked thread: the word it parked on, how to wake it, and the flag
 /// that distinguishes a real wake from a spurious `park` return.
@@ -41,19 +117,181 @@ struct Bucket {
     queue: Mutex<VecDeque<Arc<Waiter>>>,
 }
 
-fn lot() -> &'static [Bucket; BUCKETS] {
-    static LOT: OnceLock<[Bucket; BUCKETS]> = OnceLock::new();
-    LOT.get_or_init(|| {
-        std::array::from_fn(|_| Bucket {
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
             queue: Mutex::new(VecDeque::new()),
-        })
-    })
+        }
+    }
 }
 
-/// Fibonacci-hashes a word address into its bucket.
-fn bucket_for(addr: usize) -> &'static Bucket {
-    let hash = (addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    &lot()[(hash >> (64 - 7)) as usize % BUCKETS]
+/// A bucketed FIFO wait table: the user-space analogue of the kernel's
+/// futex hash. Size it to the expected *waiter* population, not the word
+/// population — words cost nothing until somebody parks on one, which is
+/// what lets a table of millions of logical lock words ride on a lot of a
+/// few hundred buckets.
+pub struct ParkingLot {
+    buckets: Box<[CachePadded<Bucket>]>,
+    mask: u64,
+}
+
+impl ParkingLot {
+    /// A lot with at least `buckets` buckets, rounded up to the next power
+    /// of two so indexing is a mask of the mixed hash.
+    ///
+    /// # Panics
+    ///
+    /// If `buckets` is zero.
+    pub fn with_buckets(buckets: usize) -> Self {
+        assert!(buckets > 0, "a parking lot needs at least one bucket");
+        let n = buckets.next_power_of_two();
+        ParkingLot {
+            buckets: (0..n).map(|_| CachePadded::new(Bucket::new())).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of buckets (always a power of two).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_for(&self, addr: usize) -> &Bucket {
+        &self.buckets[(mix64(addr as u64) & self.mask) as usize]
+    }
+
+    /// Blocks the calling thread iff `word` still holds `expected`, with
+    /// the comparison and the enqueue performed atomically with respect to
+    /// wakes of the same word through this lot. Returns `true` if the
+    /// thread parked (and was later woken), `false` if the word had
+    /// already changed.
+    ///
+    /// A `true` return means *some* wake covered this thread — not that
+    /// the word changed. Callers must re-check their condition in a loop.
+    pub fn wait(&self, word: &AtomicU64, expected: u64) -> bool {
+        let addr = addr_of(word);
+        let bucket = self.bucket_for(addr);
+        let waiter = {
+            let mut queue = bucket.queue.lock().unwrap();
+            // The decisive re-check: under the bucket lock, a waker that
+            // changed the word has either not yet locked this bucket (we
+            // see the new value here) or already drained it (we see the
+            // new value here too — the change precedes the wake).
+            if word.load(Ordering::SeqCst) != expected {
+                return false;
+            }
+            let waiter = Arc::new(Waiter {
+                addr,
+                thread: thread::current(),
+                woken: AtomicBool::new(false),
+            });
+            queue.push_back(Arc::clone(&waiter));
+            waiter
+        };
+        TOTAL_PARKS.fetch_add(1, Ordering::SeqCst);
+        crate::trace_hooks::record(trace::EventKind::FutexPark { addr });
+        while !waiter.woken.load(Ordering::Acquire) {
+            thread::park();
+        }
+        TOTAL_RESUMES.fetch_add(1, Ordering::SeqCst);
+        crate::trace_hooks::record(trace::EventKind::FutexResume {
+            addr,
+            waker: trace::NO_PID,
+        });
+        true
+    }
+
+    /// Wakes up to `n` threads parked on the word at `addr`, oldest first,
+    /// returning how many were woken. Never dereferences the address, so
+    /// it remains sound after the word's storage has been freed; the worst
+    /// a recycled address can cause is a spurious wake of a new word's
+    /// waiter, which futex discipline already tolerates.
+    pub fn wake_addr(&self, addr: usize, n: usize) -> usize {
+        let bucket = self.bucket_for(addr);
+        let mut woken = Vec::new();
+        {
+            let mut queue = bucket.queue.lock().unwrap();
+            Self::dequeue_for(&mut queue, addr, n, &mut woken);
+        }
+        self.unpark_all(&woken);
+        woken.len()
+    }
+
+    /// [`ParkingLot::wake_addr`] over a batch of addresses: one waiter per
+    /// address, with each bucket's lock taken **once** even when several
+    /// addresses collide into it. This is the release path of the
+    /// `service` semaphore, which publishes a batch of grants and then
+    /// issues all the wakes in one sweep; returns the total woken.
+    pub fn wake_batch(&self, addrs: &[usize]) -> usize {
+        // Group addresses by bucket index without allocating a map: sort a
+        // small index vector by bucket, then drain runs.
+        let mut order: Vec<(u64, usize)> = addrs
+            .iter()
+            .map(|&a| (mix64(a as u64) & self.mask, a))
+            .collect();
+        order.sort_unstable();
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let bucket_idx = order[i].0;
+            let bucket = &self.buckets[bucket_idx as usize];
+            let mut queue = bucket.queue.lock().unwrap();
+            while i < order.len() && order[i].0 == bucket_idx {
+                Self::dequeue_for(&mut queue, order[i].1, 1, &mut woken);
+                i += 1;
+            }
+        }
+        self.unpark_all(&woken);
+        woken.len()
+    }
+
+    /// Dequeues up to `n` waiters of `addr` (oldest first) into `woken`,
+    /// under the caller-held bucket lock.
+    fn dequeue_for(
+        queue: &mut VecDeque<Arc<Waiter>>,
+        addr: usize,
+        n: usize,
+        woken: &mut Vec<Arc<Waiter>>,
+    ) {
+        let mut taken = 0;
+        let mut i = 0;
+        while i < queue.len() && taken < n {
+            if queue[i].addr == addr {
+                woken.push(queue.remove(i).expect("index in bounds"));
+                taken += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Unparks dequeued waiters outside the bucket lock: an
+    /// instantly-rescheduled wakee that immediately parks again must not
+    /// find the lock still held.
+    fn unpark_all(&self, woken: &[Arc<Waiter>]) {
+        for waiter in woken {
+            TOTAL_WAKES.fetch_add(1, Ordering::SeqCst);
+            crate::trace_hooks::record(trace::EventKind::FutexWake {
+                addr: waiter.addr,
+                wakee: trace::NO_PID,
+            });
+            waiter.woken.store(true, Ordering::Release);
+            waiter.thread.unpark();
+        }
+    }
+
+    /// How many threads are currently parked on `word` — a test
+    /// observability hook, racy by nature.
+    pub fn parked_count(&self, word: &AtomicU64) -> usize {
+        let addr = addr_of(word);
+        let queue = self.bucket_for(addr).queue.lock().unwrap();
+        queue.iter().filter(|w| w.addr == addr).count()
+    }
+}
+
+fn lot() -> &'static ParkingLot {
+    static LOT: OnceLock<ParkingLot> = OnceLock::new();
+    LOT.get_or_init(|| ParkingLot::with_buckets(GLOBAL_BUCKETS))
 }
 
 /// The parking-lot identity of a futex word: its address. Exposed so a
@@ -64,88 +302,35 @@ pub fn addr_of(word: &AtomicU64) -> usize {
     word as *const AtomicU64 as usize
 }
 
-/// Blocks the calling thread iff `word` still holds `expected`, with the
-/// comparison and the enqueue performed atomically with respect to
-/// [`futex_wake`] on the same word. Returns `true` if the thread parked
-/// (and was later woken), `false` if the word had already changed.
-///
-/// A `true` return means *some* [`futex_wake`] covered this thread — not
-/// that the word changed. Callers must re-check their condition in a loop.
+/// Blocks the calling thread iff `word` still holds `expected`, via the
+/// process-global lot; see [`ParkingLot::wait`].
 pub fn futex_wait(word: &AtomicU64, expected: u64) -> bool {
-    let addr = addr_of(word);
-    let bucket = bucket_for(addr);
-    let waiter = {
-        let mut queue = bucket.queue.lock().unwrap();
-        // The decisive re-check: under the bucket lock, a waker that
-        // changed the word has either not yet locked this bucket (we see
-        // the new value here) or already drained it (we see the new value
-        // here too — the change precedes the wake).
-        if word.load(Ordering::SeqCst) != expected {
-            return false;
-        }
-        let waiter = Arc::new(Waiter {
-            addr,
-            thread: thread::current(),
-            woken: AtomicBool::new(false),
-        });
-        queue.push_back(Arc::clone(&waiter));
-        waiter
-    };
-    crate::trace_hooks::record(trace::EventKind::FutexPark { addr });
-    while !waiter.woken.load(Ordering::Acquire) {
-        thread::park();
-    }
-    crate::trace_hooks::record(trace::EventKind::FutexResume {
-        addr,
-        waker: trace::NO_PID,
-    });
-    true
+    lot().wait(word, expected)
 }
 
-/// Wakes up to `n` threads parked on `word`, oldest first, returning how
-/// many were woken. Callers that may race the death of the word itself
-/// should capture [`addr_of`] early and use [`futex_wake_addr`].
+/// Wakes up to `n` threads parked on `word` through the process-global
+/// lot, oldest first, returning how many were woken. Callers that may race
+/// the death of the word itself should capture [`addr_of`] early and use
+/// [`futex_wake_addr`].
 pub fn futex_wake(word: &AtomicU64, n: usize) -> usize {
-    futex_wake_addr(addr_of(word), n)
+    lot().wake_addr(addr_of(word), n)
 }
 
-/// [`futex_wake`] by pre-captured address. Never dereferences the word, so
-/// it remains sound after the word's storage has been freed; the worst a
-/// recycled address can cause is a spurious wake of a new word's waiter,
-/// which futex discipline already tolerates.
+/// [`futex_wake`] by pre-captured address; see [`ParkingLot::wake_addr`].
 pub fn futex_wake_addr(addr: usize, n: usize) -> usize {
-    let bucket = bucket_for(addr);
-    let mut woken = Vec::new();
-    {
-        let mut queue = bucket.queue.lock().unwrap();
-        let mut i = 0;
-        while i < queue.len() && woken.len() < n {
-            if queue[i].addr == addr {
-                woken.push(queue.remove(i).expect("index in bounds"));
-            } else {
-                i += 1;
-            }
-        }
-    }
-    // Unpark outside the bucket lock: an instantly-rescheduled wakee that
-    // immediately parks again must not find the lock still held.
-    for waiter in &woken {
-        crate::trace_hooks::record(trace::EventKind::FutexWake {
-            addr,
-            wakee: trace::NO_PID,
-        });
-        waiter.woken.store(true, Ordering::Release);
-        waiter.thread.unpark();
-    }
-    woken.len()
+    lot().wake_addr(addr, n)
 }
 
-/// How many threads are currently parked on `word` — a test observability
-/// hook, racy by nature.
+/// Batched wake through the process-global lot — one waiter per address
+/// occurrence, each bucket lock taken once; see [`ParkingLot::wake_batch`].
+pub fn futex_wake_batch(addrs: &[usize]) -> usize {
+    lot().wake_batch(addrs)
+}
+
+/// How many threads are currently parked on `word` in the process-global
+/// lot — a test observability hook, racy by nature.
 pub fn parked_count(word: &AtomicU64) -> usize {
-    let addr = addr_of(word);
-    let queue = bucket_for(addr).queue.lock().unwrap();
-    queue.iter().filter(|w| w.addr == addr).count()
+    lot().parked_count(word)
 }
 
 #[cfg(test)]
@@ -232,33 +417,127 @@ mod tests {
     /// other's waiters: the queue entries carry the full address.
     #[test]
     fn colliding_words_are_independent() {
-        // Same bucket by construction: all our buckets come from one
-        // array, so just find two addresses that hash together.
-        let words: Vec<Arc<AtomicU64>> =
-            (0..256).map(|_| Arc::new(AtomicU64::new(0))).collect();
-        let target = bucket_for(addr_of(&words[0])) as *const Bucket;
-        let other = words[1..]
-            .iter()
-            .find(|w| std::ptr::eq(bucket_for(addr_of(w)) as *const Bucket, target))
-            .expect("256 words must produce a bucket collision")
-            .clone();
-        let word = Arc::clone(&words[0]);
+        // A one-bucket lot makes every pair of words a collision.
+        let lot = Arc::new(ParkingLot::with_buckets(1));
+        let a = Arc::new(AtomicU64::new(0));
+        let b = AtomicU64::new(0);
         let handle = {
-            let word = Arc::clone(&word);
+            let a = Arc::clone(&a);
+            let lot = Arc::clone(&lot);
             thread::spawn(move || {
-                while word.load(Ordering::SeqCst) == 0 {
-                    futex_wait(&word, 0);
+                while a.load(Ordering::SeqCst) == 0 {
+                    lot.wait(&a, 0);
                 }
             })
         };
-        while parked_count(&word) == 0 {
+        while lot.parked_count(&a) == 0 {
             thread::yield_now();
         }
         // Waking the colliding word must not disturb ours.
-        assert_eq!(futex_wake(&other, usize::MAX), 0);
-        assert_eq!(parked_count(&word), 1);
-        word.store(1, Ordering::SeqCst);
-        assert_eq!(futex_wake(&word, 1), 1);
+        assert_eq!(lot.wake_addr(addr_of(&b), usize::MAX), 0);
+        assert_eq!(lot.parked_count(&a), 1);
+        a.store(1, Ordering::SeqCst);
+        assert_eq!(lot.wake_addr(addr_of(&a), 1), 1);
         handle.join().unwrap();
+    }
+
+    /// The bucket hash must spread realistic address patterns — slab
+    /// entries at a fixed stride, exactly what a weak hash aliases — close
+    /// to uniformly across buckets. The old `hash >> (64 - 7)` scheme
+    /// fails this: 64-byte-strided addresses landed on a handful of the
+    /// 64 buckets.
+    #[test]
+    fn bucket_hash_spreads_strided_addresses() {
+        for stride in [8usize, 64, 128] {
+            let buckets = 64;
+            let n = 64 * buckets;
+            let mut counts = vec![0usize; buckets];
+            let base = 0x7f00_dead_0000usize;
+            for i in 0..n {
+                let addr = base + i * stride;
+                counts[(mix64(addr as u64) & (buckets as u64 - 1)) as usize] += 1;
+            }
+            let used = counts.iter().filter(|&&c| c > 0).count();
+            let max = counts.iter().copied().max().unwrap();
+            assert_eq!(used, buckets, "stride {stride}: {used}/{buckets} buckets used");
+            // Uniform would be 64 per bucket; allow 3x skew.
+            assert!(
+                max <= 3 * (n / buckets),
+                "stride {stride}: hottest bucket holds {max} of {n}"
+            );
+        }
+    }
+
+    /// mix64 avalanches: flipping one input bit flips about half the
+    /// output bits, and in particular changes the *low* bits a masked
+    /// bucket index consumes.
+    #[test]
+    fn mix64_avalanches_into_low_bits() {
+        let mut total_flips = 0u32;
+        let samples = 64 * 16;
+        for i in 0..16u64 {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678_9abc_def0;
+            for bit in 0..64 {
+                let d = mix64(x) ^ mix64(x ^ (1 << bit));
+                total_flips += d.count_ones();
+                assert!(d & 0xFFFF != 0, "bit {bit} left the low 16 bits unchanged");
+            }
+        }
+        let mean_flips = total_flips as f64 / samples as f64;
+        assert!(
+            (24.0..40.0).contains(&mean_flips),
+            "mean output flips per input bit: {mean_flips}"
+        );
+    }
+
+    #[test]
+    fn lot_sizes_round_up_to_powers_of_two() {
+        for (ask, got) in [(1, 1), (2, 2), (3, 4), (64, 64), (1000, 1024)] {
+            assert_eq!(ParkingLot::with_buckets(ask).buckets(), got);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_bucket_lot_rejected() {
+        ParkingLot::with_buckets(0);
+    }
+
+    /// Batched wake releases exactly one waiter per address, including
+    /// when addresses collide into one bucket, and accounts every wake.
+    #[test]
+    fn wake_batch_releases_one_per_address() {
+        let lot = Arc::new(ParkingLot::with_buckets(2));
+        let words: Vec<Arc<AtomicU64>> =
+            (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let handles: Vec<_> = words
+            .iter()
+            .map(|w| {
+                let w = Arc::clone(w);
+                let lot = Arc::clone(&lot);
+                thread::spawn(move || {
+                    while w.load(Ordering::SeqCst) == 0 {
+                        lot.wait(&w, 0);
+                    }
+                })
+            })
+            .collect();
+        for w in &words {
+            while lot.parked_count(w) == 0 {
+                thread::yield_now();
+            }
+        }
+        let before = totals();
+        for w in &words {
+            w.store(1, Ordering::SeqCst);
+        }
+        let addrs: Vec<usize> = words.iter().map(|w| addr_of(w)).collect();
+        assert_eq!(lot.wake_batch(&addrs), 4);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let delta = totals().since(&before);
+        assert_eq!(delta.wakes, 4);
+        assert_eq!(delta.resumes, 4);
     }
 }

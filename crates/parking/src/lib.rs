@@ -11,7 +11,13 @@
 //!   bucketed parking lot of per-thread parkers, the user-space analogue of
 //!   the Linux futex: the compare and the block happen under one bucket
 //!   lock, so a waker that changes the word *before* waking can never lose
-//!   a wakeup.
+//!   a wakeup. The lot is a first-class type ([`futex::ParkingLot`]):
+//!   cache-line-padded power-of-two buckets indexed by the full-avalanche
+//!   [`futex::mix64`] hash, batched wake ([`futex::ParkingLot::wake_batch`])
+//!   and machine-wide park/wake/resume accounting ([`futex::totals`]). The
+//!   `service` crate embeds its own lot under its sharded per-key lock
+//!   table; the module-level functions serve the primitives below from one
+//!   process-global instance.
 //! - [`mutex::QsmMutexBlocking`] — the QSM queue lock with a spin-then-park
 //!   wait, usable anywhere a [`qsm::RawLock`] fits (including
 //!   [`qsm::Mutex`]).

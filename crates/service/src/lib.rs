@@ -1,0 +1,206 @@
+//! A sharded lock **service**: QSM-backed blocking primitives keyed by
+//! arbitrary `u64` keys.
+//!
+//! Everything else in the repo synchronizes on a handful of static lock
+//! words. A server does not: it guards *millions* of logical resources —
+//! rows, sessions, cache entries — each wanting its own mutex, eventcount
+//! or barrier, almost all of them idle at any instant. Allocating a word
+//! per key up front is a non-starter at that scale, and funnelling every
+//! key through one lock is the contention collapse the 1991 paper measures.
+//! This crate takes the middle path:
+//!
+//! - [`table::ShardedTable`] — a power-of-two array of cache-line-padded
+//!   shards, each a slab allocator of lock-word slots with a free list and
+//!   epoch-counted reuse. A key's slot exists only while somebody holds a
+//!   reference to it (a guard, a parked waiter, an eventcount handle);
+//!   detaching the last reference recycles the slot. Keys hash to shards
+//!   with the full-avalanche [`parking::futex::mix64`], and each table
+//!   embeds its own [`parking::futex::ParkingLot`] sized to the waiter
+//!   population, not the key population.
+//! - [`lock::LockService`] — the front end: per-key mutex
+//!   ([`lock::LockService::lock`]), per-key eventcount
+//!   (`advance`/`await_at_least` with wraparound-safe sequencing), and a
+//!   per-key sense-free barrier (round counter + arrival count packed in
+//!   one word, immune to the classic two-round sense ABA).
+//! - [`semaphore::WaitingArraySemaphore`] — a counting semaphore per Dice &
+//!   Kogan's *Semaphores Augmented with a Waiting Array*: a permits counter
+//!   plus enqueue/dequeue tickets indexing a small slot array where each
+//!   grant is *published* as a sequence number, so releasers never scan
+//!   waiter lists and a batch release issues all its wakes in one sweep
+//!   ([`parking::futex::futex_wake_batch`]).
+//!
+//! The load generator that drives this crate lives in
+//! `workloads::service_load`; the figures it feeds (`fig11`, `table6`)
+//! are registered in `bench::figures`.
+//!
+//! ## Environment knobs
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `SYNCMECH_SERVICE_SHARDS` | shard count for [`lock::LockService::new`] (default 256, rounded up to a power of two) |
+//! | `SYNCMECH_SERVICE_THREADS` | worker threads for the real-thread service load generator (default: host parallelism) |
+//!
+//! Both reject `0` and non-numeric values loudly (see [`service_shards_from`]
+//! and [`service_threads_from`]): a user who sets a knob meant to control
+//! it, and a silent fallback would make a typo look like a performance
+//! mystery.
+
+pub mod lock;
+pub mod semaphore;
+pub mod table;
+
+pub use lock::{EventKey, KeyGuard, LockService};
+pub use semaphore::WaitingArraySemaphore;
+pub use table::{ShardedTable, SlotKind, SlotRef, TableStats};
+
+/// Default shard count for a [`LockService`] when
+/// `SYNCMECH_SERVICE_SHARDS` is unset: enough that 64 threads hashing
+/// random keys rarely contend a shard mutex, small enough to be cheap.
+pub const DEFAULT_SHARDS: usize = 256;
+
+/// Wraparound-safe sequence comparison: `a >= b` on the circle of `u64`
+/// sequence numbers, correct as long as the two are within `2^63` of each
+/// other. Shared by the eventcount wait loop and the semaphore's grant
+/// publication.
+#[inline]
+pub(crate) fn seq_ge(a: u64, b: u64) -> bool {
+    a.wrapping_sub(b) as i64 >= 0
+}
+
+/// Shard count for the service: `SYNCMECH_SERVICE_SHARDS` if set, else
+/// [`DEFAULT_SHARDS`].
+///
+/// # Panics
+///
+/// If the variable is set to anything other than a positive integer.
+pub fn service_shards() -> usize {
+    let var = std::env::var("SYNCMECH_SERVICE_SHARDS").ok();
+    match service_shards_from(var.as_deref()) {
+        Ok(n) => n,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// The policy behind [`service_shards`], with the environment lookup
+/// factored out for testability: `None` means the variable is unset.
+pub fn service_shards_from(var: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = var else {
+        return Ok(DEFAULT_SHARDS);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "SYNCMECH_SERVICE_SHARDS=0: the lock service needs at least one shard; \
+             set a positive count, or unset the variable to use the default of 256"
+                .to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "SYNCMECH_SERVICE_SHARDS={raw:?} is not a positive integer; set a shard \
+             count like 256, or unset the variable to use the default of 256"
+        )),
+    }
+}
+
+/// Worker threads for the real-thread service load generator:
+/// `SYNCMECH_SERVICE_THREADS` if set, else the host's available
+/// parallelism.
+///
+/// # Panics
+///
+/// If the variable is set to anything other than a positive integer.
+pub fn service_threads() -> usize {
+    let var = std::env::var("SYNCMECH_SERVICE_THREADS").ok();
+    match service_threads_from(var.as_deref()) {
+        Ok(n) => n,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// The policy behind [`service_threads`], with the environment lookup
+/// factored out for testability: `None` means the variable is unset.
+pub fn service_threads_from(var: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = var else {
+        return Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1));
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "SYNCMECH_SERVICE_THREADS=0: the service load generator needs at least one \
+             worker thread; set a positive count, or unset the variable to use the \
+             host's parallelism"
+                .to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "SYNCMECH_SERVICE_THREADS={raw:?} is not a positive integer; set a thread \
+             count like 4, or unset the variable to use the host's parallelism"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_default_when_unset() {
+        assert_eq!(service_shards_from(None), Ok(DEFAULT_SHARDS));
+    }
+
+    #[test]
+    fn shards_accept_positive_values() {
+        assert_eq!(service_shards_from(Some("8")), Ok(8));
+        assert_eq!(service_shards_from(Some(" 1024 ")), Ok(1024));
+    }
+
+    #[test]
+    fn shards_reject_zero_loudly() {
+        let err = service_shards_from(Some("0")).unwrap_err();
+        assert!(err.contains("SYNCMECH_SERVICE_SHARDS=0"), "{err}");
+        assert!(err.contains("at least one shard"), "{err}");
+    }
+
+    #[test]
+    fn shards_reject_garbage_loudly() {
+        for raw in ["lots", "-4", "3.5", ""] {
+            let err = service_shards_from(Some(raw)).unwrap_err();
+            assert!(err.contains("is not a positive integer"), "{raw:?}: {err}");
+            assert!(err.contains(&format!("{raw:?}")), "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn threads_default_when_unset() {
+        assert!(service_threads_from(None).unwrap() >= 1);
+    }
+
+    #[test]
+    fn threads_accept_positive_values() {
+        assert_eq!(service_threads_from(Some("4")), Ok(4));
+    }
+
+    #[test]
+    fn threads_reject_zero_loudly() {
+        let err = service_threads_from(Some("0")).unwrap_err();
+        assert!(err.contains("SYNCMECH_SERVICE_THREADS=0"), "{err}");
+        assert!(err.contains("at least one worker thread"), "{err}");
+    }
+
+    #[test]
+    fn threads_reject_garbage_loudly() {
+        for raw in ["many", "-1", "2x"] {
+            let err = service_threads_from(Some(raw)).unwrap_err();
+            assert!(err.contains("is not a positive integer"), "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn seq_ge_survives_wraparound() {
+        assert!(seq_ge(5, 5));
+        assert!(seq_ge(6, 5));
+        assert!(!seq_ge(5, 6));
+        assert!(seq_ge(2, u64::MAX - 2)); // wrapped past zero
+        assert!(!seq_ge(u64::MAX - 2, 2));
+    }
+}

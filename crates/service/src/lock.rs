@@ -1,0 +1,368 @@
+//! The service front end: per-key mutex, eventcount and barrier over a
+//! [`ShardedTable`].
+//!
+//! Each primitive is a protocol over a single slot word:
+//!
+//! - **Mutex** — the three-state futex lock (0 free, 1 held, 2 held with
+//!   waiters). The uncontended path is one CAS; a contender spins a short
+//!   [`qsm::Backoff`] budget (uncontended hand-offs complete in
+//!   nanoseconds; parking would only add a wake latency), then announces
+//!   itself by driving the word to 2 and parks. Release hands off to the
+//!   *oldest* parked waiter — the lot's FIFO dequeue is the QSM grant
+//!   order, so per-key fairness matches the paper's queue discipline
+//!   rather than a TAS-style retry scramble.
+//! - **Eventcount** — the word is a monotone sequence number;
+//!   [`EventKey::advance`] bumps it and wakes every waiter,
+//!   [`EventKey::await_at_least`] parks until the count passes a target,
+//!   with wraparound-safe comparison. Counts are *ephemeral*: they live
+//!   only while some [`EventKey`] handle keeps the slot attached, which is
+//!   why the API hands out a handle instead of taking bare keys.
+//! - **Barrier** — arrivals in the low 32 bits, a round counter in the
+//!   high 32. The last arrival resets arrivals and bumps the round in one
+//!   store, then wakes all; waiters wait for the *round* to change, which
+//!   dodges the classic sense-reversal ABA (a waiter sleeping through an
+//!   entire round still sees a different round number, not a flipped-back
+//!   sense bit).
+
+use crate::table::{ShardedTable, SlotKind, SlotRef, TableStats};
+use crate::{seq_ge, service_shards};
+use qsm::Backoff;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutex word states.
+const FREE: u64 = 0;
+const HELD: u64 = 1;
+const CONTENDED: u64 = 2;
+
+/// The sharded per-key lock service. See the crate docs for the design.
+pub struct LockService {
+    table: ShardedTable,
+}
+
+impl Default for LockService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockService {
+    /// A service with `SYNCMECH_SERVICE_SHARDS` shards (default 256).
+    pub fn new() -> Self {
+        Self::with_shards(service_shards())
+    }
+
+    /// A service with an explicit shard count (rounded up to a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// If `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        LockService {
+            table: ShardedTable::new(shards),
+        }
+    }
+
+    /// The backing table, for occupancy checks.
+    pub fn stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Acquires the mutex for `key`, blocking (spin-then-park) while a
+    /// holder is live. Waiters are granted oldest-first.
+    pub fn lock(&self, key: u64) -> KeyGuard<'_> {
+        let slot = self.table.attach(key, SlotKind::Mutex);
+        let word = slot.word();
+        if Self::try_acquire(word) {
+            return KeyGuard { slot };
+        }
+        // Bounded spin: a short-hold owner releases within the budget and
+        // we take the lock without a park/wake round trip.
+        let mut backoff = Backoff::new();
+        while !backoff.is_completed() {
+            backoff.snooze();
+            if Self::try_acquire(word) {
+                return KeyGuard { slot };
+            }
+        }
+        // Slow path: hold the word at CONTENDED while waiting so the
+        // releaser knows to wake, and acquire *as* CONTENDED — we cannot
+        // know whether other waiters remain, so the release after our
+        // critical section must wake too.
+        loop {
+            match word.load(Ordering::SeqCst) {
+                FREE => {
+                    if word
+                        .compare_exchange(FREE, CONTENDED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        return KeyGuard { slot };
+                    }
+                }
+                HELD => {
+                    // Announce waiters; whoever holds it will wake us.
+                    let _ = word.compare_exchange(
+                        HELD,
+                        CONTENDED,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                }
+                _ => {
+                    slot.wait(CONTENDED);
+                }
+            }
+        }
+    }
+
+    /// Acquires the mutex for `key` iff it is free right now.
+    pub fn try_lock(&self, key: u64) -> Option<KeyGuard<'_>> {
+        let slot = self.table.attach(key, SlotKind::Mutex);
+        if Self::try_acquire(slot.word()) {
+            Some(KeyGuard { slot })
+        } else {
+            None
+        }
+    }
+
+    fn try_acquire(word: &AtomicU64) -> bool {
+        word.compare_exchange(FREE, HELD, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// A handle to `key`'s eventcount. The count starts at 0 when the
+    /// first handle attaches and persists only while at least one handle
+    /// (or parked waiter) is live.
+    pub fn eventcount(&self, key: u64) -> EventKey<'_> {
+        EventKey {
+            slot: self.table.attach(key, SlotKind::Event),
+        }
+    }
+
+    /// Waits at the barrier for `key` until `parties` threads have
+    /// arrived; returns `true` on exactly one of them (the last arrival,
+    /// which released the round). The barrier is reusable: the next
+    /// `parties` arrivals form the next round.
+    ///
+    /// # Panics
+    ///
+    /// If `parties` is zero, or more than `parties` threads arrive in one
+    /// round (callers disagreeing on `parties`).
+    pub fn barrier_wait(&self, key: u64, parties: u32) -> bool {
+        assert!(parties > 0, "a barrier needs at least one party");
+        let slot = self.table.attach(key, SlotKind::Barrier);
+        let word = slot.word();
+        let round = loop {
+            let cur = word.load(Ordering::SeqCst);
+            let arrivals = (cur & u32::MAX as u64) as u32;
+            assert!(
+                arrivals < parties,
+                "barrier key {key:#x}: more than {parties} parties arrived in one round"
+            );
+            if arrivals + 1 == parties {
+                // Last arrival: reset arrivals and open the next round in
+                // one store, then release everyone parked on this round.
+                let next = (cur >> 32).wrapping_add(1) << 32;
+                if word
+                    .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    slot.wake(usize::MAX);
+                    return true;
+                }
+            } else if word
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break cur >> 32;
+            }
+        };
+        loop {
+            let now = word.load(Ordering::SeqCst);
+            if now >> 32 != round {
+                return false;
+            }
+            slot.wait(now);
+        }
+    }
+}
+
+/// Holds the per-key mutex; released (and the slot reference dropped) on
+/// drop.
+pub struct KeyGuard<'a> {
+    slot: SlotRef<'a>,
+}
+
+impl KeyGuard<'_> {
+    /// The key this guard locks.
+    pub fn key(&self) -> u64 {
+        self.slot.key()
+    }
+}
+
+impl Drop for KeyGuard<'_> {
+    fn drop(&mut self) {
+        let prev = self.slot.word().swap(FREE, Ordering::SeqCst);
+        debug_assert!(prev == HELD || prev == CONTENDED, "unlock of a free lock");
+        if prev == CONTENDED {
+            // Hand off to the oldest waiter. Waking exactly one is enough:
+            // the wakee re-acquires as CONTENDED, so its own release wakes
+            // the next in line.
+            self.slot.wake(1);
+        }
+    }
+}
+
+/// A handle to one key's eventcount; see [`LockService::eventcount`].
+pub struct EventKey<'a> {
+    slot: SlotRef<'a>,
+}
+
+impl EventKey<'_> {
+    /// The current count.
+    pub fn read(&self) -> u64 {
+        self.slot.word().load(Ordering::SeqCst)
+    }
+
+    /// Bumps the count and wakes every waiter; returns the new count.
+    pub fn advance(&self) -> u64 {
+        let new = self.slot.word().fetch_add(1, Ordering::SeqCst).wrapping_add(1);
+        self.slot.wake(usize::MAX);
+        new
+    }
+
+    /// Parks until the count reaches at least `target` (wraparound-safe),
+    /// returning the count observed.
+    pub fn await_at_least(&self, target: u64) -> u64 {
+        loop {
+            let cur = self.read();
+            if seq_ge(cur, target) {
+                return cur;
+            }
+            self.slot.wait(cur);
+        }
+    }
+}
+
+impl Clone for EventKey<'_> {
+    fn clone(&self) -> Self {
+        EventKey {
+            slot: self.slot.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn uncontended_lock_round_trip() {
+        let svc = LockService::with_shards(4);
+        {
+            let _g = svc.lock(7);
+            assert!(svc.try_lock(7).is_none());
+            // A different key is independent.
+            assert!(svc.try_lock(8).is_some());
+        }
+        assert!(svc.try_lock(7).is_some());
+        // All guards dropped: the table is empty again.
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn contended_lock_is_mutually_exclusive() {
+        let svc = Arc::new(LockService::with_shards(8));
+        // One non-atomic-style counter per key: a racy read-yield-write
+        // that only a correct per-key mutex keeps exact.
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..3).map(|_| AtomicUsize::new(0)).collect());
+        let threads: usize = 8;
+        let iters: usize = 500;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let counters = Arc::clone(&counters);
+                thread::spawn(move || {
+                    for i in 0..iters {
+                        let key = i % 3;
+                        let _g = svc.lock(key as u64);
+                        let v = counters[key].load(Ordering::SeqCst);
+                        thread::yield_now();
+                        counters[key].store(v + 1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = counters.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        assert_eq!(total, threads * iters);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn eventcount_advance_releases_waiters() {
+        let svc = Arc::new(LockService::with_shards(4));
+        let ec = svc.eventcount(99);
+        assert_eq!(ec.read(), 0);
+        let waiter = {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || svc.eventcount(99).await_at_least(3))
+        };
+        for _ in 0..3 {
+            ec.advance();
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
+        assert_eq!(ec.read(), 3);
+    }
+
+    #[test]
+    fn eventcount_resets_when_all_handles_drop() {
+        let svc = LockService::with_shards(4);
+        {
+            let ec = svc.eventcount(5);
+            ec.advance();
+            ec.advance();
+            assert_eq!(ec.read(), 2);
+            let ec2 = ec.clone();
+            drop(ec);
+            assert_eq!(ec2.read(), 2);
+        }
+        // Slot recycled: a fresh handle starts from zero.
+        assert_eq!(svc.eventcount(5).read(), 0);
+    }
+
+    #[test]
+    fn barrier_releases_all_parties_with_one_leader() {
+        let svc = Arc::new(LockService::with_shards(4));
+        let parties = 6u32;
+        for _round in 0..4 {
+            let handles: Vec<_> = (0..parties)
+                .map(|_| {
+                    let svc = Arc::clone(&svc);
+                    thread::spawn(move || svc.barrier_wait(1234, parties))
+                })
+                .collect();
+            let leaders = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&leader| leader)
+                .count();
+            assert_eq!(leaders, 1);
+        }
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot attach it as a")]
+    fn mixing_primitives_on_one_key_panics() {
+        let svc = LockService::with_shards(1);
+        let _g = svc.lock(7);
+        let _e = svc.eventcount(7);
+    }
+}

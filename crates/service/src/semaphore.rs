@@ -1,0 +1,316 @@
+//! A counting semaphore augmented with a **waiting array**, after Dice &
+//! Kogan.
+//!
+//! A classic semaphore keeps an explicit waiter list the releaser must
+//! lock and scan. Here the waiters index themselves: an acquirer that
+//! finds no permit takes a ticket from an *enqueue* counter and waits on
+//! `slots[ticket mod W]`; a releaser that owes a grant takes a ticket from
+//! a *dequeue* counter and **publishes** the grant by storing
+//! `ticket + 1` into the same slot. Acquirers and releasers pair up
+//! through the ticket sequence alone — no list, no scan, and the release
+//! path is wait-free up to the futex wake.
+//!
+//! Sequence arithmetic is wraparound-safe throughout (`seq_ge`): tickets
+//! may wrap `u64`, and a slot serving ticket `t` may already show the
+//! grant for `t + W` published by a racing releaser — that value satisfies
+//! the earlier waiter too, since grants are monotone in sequence order.
+//! The publication CAS loop only ever moves a slot's sequence forward, so
+//! racing releasers cannot regress a grant.
+//!
+//! A batch [`WaitingArraySemaphore::release_n`] publishes every grant
+//! first and then issues all wakes in one
+//! [`parking::futex::futex_wake_batch`] sweep — one bucket lock per
+//! parking-lot bucket, not per waiter.
+
+use crate::seq_ge;
+use qsm::{Backoff, CachePadded};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// The waiting-array semaphore. See the module docs for the protocol.
+pub struct WaitingArraySemaphore {
+    /// Available permits; negative values count waiters owed a grant.
+    permits: CachePadded<AtomicI64>,
+    /// Next acquire ticket.
+    enq: CachePadded<AtomicU64>,
+    /// Next grant ticket.
+    deq: CachePadded<AtomicU64>,
+    /// The waiting array: `slots[t & mask]` holds the sequence of the
+    /// latest grant published for tickets congruent to `t`.
+    slots: Box<[CachePadded<AtomicU64>]>,
+    mask: u64,
+}
+
+impl WaitingArraySemaphore {
+    /// A semaphore with `permits` initial permits and a waiting array of
+    /// at least `slots` slots (rounded up to a power of two). The array
+    /// bounds *slot sharing*, not waiter count: more waiters than slots
+    /// simply share slots, at the cost of occasional spurious wakes.
+    ///
+    /// # Panics
+    ///
+    /// If `slots` is zero, or `permits` exceeds `i64::MAX`.
+    pub fn new(permits: usize, slots: usize) -> Self {
+        Self::with_ticket_origin(permits, slots, 0)
+    }
+
+    /// [`WaitingArraySemaphore::new`] with the ticket counters starting at
+    /// `origin` instead of 0 — a test hook that lets the wraparound suite
+    /// start tickets near `u64::MAX` without issuing 2^64 operations.
+    pub fn with_ticket_origin(permits: usize, slots: usize, origin: u64) -> Self {
+        assert!(slots > 0, "a waiting array needs at least one slot");
+        let permits = i64::try_from(permits).expect("permit count fits in i64");
+        let w = slots.next_power_of_two() as u64;
+        let slots: Box<[CachePadded<AtomicU64>]> = (0..w)
+            .map(|i| {
+                // The slot's "no grant yet" value is the grant its
+                // previous-generation tenant (ticket `t0 - W`) would have
+                // published, so the first real waiter (`t0`) observes a
+                // sequence strictly behind its own and parks.
+                let t0 = origin.wrapping_add(i.wrapping_sub(origin) & (w - 1));
+                CachePadded::new(AtomicU64::new(t0.wrapping_add(1).wrapping_sub(w)))
+            })
+            .collect();
+        WaitingArraySemaphore {
+            permits: CachePadded::new(AtomicI64::new(permits)),
+            enq: CachePadded::new(AtomicU64::new(origin)),
+            deq: CachePadded::new(AtomicU64::new(origin)),
+            slots,
+            mask: w - 1,
+        }
+    }
+
+    /// Currently available permits (negative: waiters owed a grant). A
+    /// racy observability hook, like the futex totals.
+    pub fn permits(&self) -> i64 {
+        self.permits.load(Ordering::SeqCst)
+    }
+
+    /// Number of waiting-array slots (a power of two).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Acquires one permit, taking a ticket and waiting (spin-then-park)
+    /// on its waiting-array slot if none is available.
+    pub fn acquire(&self) {
+        let prev = self.permits.fetch_sub(1, Ordering::SeqCst);
+        if prev > 0 {
+            return;
+        }
+        let ticket = self.enq.fetch_add(1, Ordering::SeqCst);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        let target = ticket.wrapping_add(1);
+        let mut backoff = Backoff::new();
+        loop {
+            let cur = slot.load(Ordering::SeqCst);
+            if seq_ge(cur, target) {
+                return;
+            }
+            if backoff.is_completed() {
+                // Parks iff the slot still shows `cur`; a published grant
+                // changes the slot first, so the park cannot miss it.
+                parking::futex::futex_wait(slot, cur);
+            } else {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Acquires one permit iff one is available right now.
+    pub fn try_acquire(&self) -> bool {
+        let mut cur = self.permits.load(Ordering::SeqCst);
+        loop {
+            if cur <= 0 {
+                return false;
+            }
+            match self.permits.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Releases one permit; equivalent to `release_n(1)`.
+    pub fn release(&self) {
+        self.release_n(1);
+    }
+
+    /// Releases `n` permits. Grants owed to waiters are all published
+    /// first, then woken in one batched sweep; returns how many grants
+    /// went to waiters (the rest raised the permit count).
+    pub fn release_n(&self, n: usize) -> usize {
+        let mut addrs = Vec::new();
+        for _ in 0..n {
+            let prev = self.permits.fetch_add(1, Ordering::SeqCst);
+            if prev >= 0 {
+                continue;
+            }
+            let ticket = self.deq.fetch_add(1, Ordering::SeqCst);
+            let slot = &self.slots[(ticket & self.mask) as usize];
+            let grant = ticket.wrapping_add(1);
+            // Publish by sequence-max CAS: never regress a slot that a
+            // racing releaser (ticket + W) already advanced past us.
+            let mut cur = slot.load(Ordering::SeqCst);
+            while !seq_ge(cur, grant) {
+                match slot.compare_exchange_weak(cur, grant, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => break,
+                    Err(now) => cur = now,
+                }
+            }
+            addrs.push(parking::futex::addr_of(slot));
+        }
+        let granted = addrs.len();
+        if !addrs.is_empty() {
+            // One waiter per address occurrence; waiters whose grant was
+            // satisfied mid-spin (never parked) make the wake a no-op,
+            // and a shared-slot wake of the *wrong* waiter is a spurious
+            // wake its loop absorbs.
+            parking::futex::futex_wake_batch(&addrs);
+        }
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_bound_concurrent_holders() {
+        let sem = Arc::new(WaitingArraySemaphore::new(3, 8));
+        let holders = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let sem = Arc::clone(&sem);
+                let holders = Arc::clone(&holders);
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        sem.acquire();
+                        let now = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        thread::yield_now();
+                        holders.fetch_sub(1, Ordering::SeqCst);
+                        sem.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(sem.permits(), 3);
+    }
+
+    #[test]
+    fn try_acquire_never_blocks() {
+        let sem = WaitingArraySemaphore::new(1, 2);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+    }
+
+    /// `release_n` with more waiters than permits wakes exactly n — the
+    /// others stay parked until their own grant is published.
+    #[test]
+    fn release_n_grants_exactly_n() {
+        let sem = Arc::new(WaitingArraySemaphore::new(0, 4));
+        let through = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..5)
+            .map(|_| {
+                let sem = Arc::clone(&sem);
+                let through = Arc::clone(&through);
+                thread::spawn(move || {
+                    sem.acquire();
+                    through.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        while sem.permits() != -5 {
+            thread::yield_now();
+        }
+        assert_eq!(sem.release_n(3), 3);
+        while through.load(Ordering::SeqCst) < 3 {
+            thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(through.load(Ordering::SeqCst), 3);
+        assert_eq!(sem.release_n(2), 2);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(through.load(Ordering::SeqCst), 5);
+        assert_eq!(sem.permits(), 0);
+    }
+
+    /// Ticket wraparound: with the counters starting a few tickets before
+    /// u64::MAX and a tiny array, grants published across the wrap still
+    /// reach their waiters.
+    #[test]
+    fn tickets_survive_wraparound() {
+        let sem = Arc::new(WaitingArraySemaphore::with_ticket_origin(
+            0,
+            2,
+            u64::MAX - 3,
+        ));
+        let through = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sem = Arc::clone(&sem);
+                let through = Arc::clone(&through);
+                thread::spawn(move || {
+                    sem.acquire();
+                    through.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        while sem.permits() != -8 {
+            thread::yield_now();
+        }
+        for _ in 0..8 {
+            sem.release();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(through.load(Ordering::SeqCst), 8);
+        assert_eq!(sem.permits(), 0);
+    }
+
+    #[test]
+    fn fresh_slots_grant_nobody() {
+        // Regression for the waiting-array init: at any ticket origin, a
+        // brand-new slot must read as "behind" its first waiter's ticket.
+        for origin in [0u64, 1, 63, u64::MAX - 1, u64::MAX] {
+            let sem = WaitingArraySemaphore::with_ticket_origin(0, 4, origin);
+            assert!(!sem.try_acquire(), "origin {origin:#x}");
+            for (i, slot) in sem.slots.iter().enumerate() {
+                let w = sem.slots.len() as u64;
+                let t0 = origin.wrapping_add((i as u64).wrapping_sub(origin) & (w - 1));
+                assert!(
+                    !seq_ge(slot.load(Ordering::SeqCst), t0.wrapping_add(1)),
+                    "origin {origin:#x} slot {i} already shows a grant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_array_rejected() {
+        WaitingArraySemaphore::new(1, 0);
+    }
+}

@@ -21,6 +21,10 @@
 //!   real threads, with the outcomes compared.
 //! * [`waitdist`] — the traced wait/hold-time distribution workload behind
 //!   table5 and fig10, built on the `trace` crate's event recorder.
+//! * [`service_load`] — the sharded lock-service load generator behind
+//!   fig11 and table6: a deterministic discrete-event queueing model of
+//!   per-key lock policies (the figure input) plus a real-thread driver
+//!   over `service::LockService` (the CI smoke/stress engine).
 
 pub mod barrierbench;
 pub mod csbench;
@@ -29,5 +33,6 @@ pub mod fairness;
 pub mod oversub;
 pub mod realhw;
 pub mod rwbench;
+pub mod service_load;
 pub mod sweeps;
 pub mod waitdist;

@@ -1,0 +1,547 @@
+//! Service load generator — the data behind fig11 and table6.
+//!
+//! Two drivers share one workload shape (bursty open-loop arrivals, Zipf
+//! key skew, a reader/writer hold-time mix, a bounded worker pool):
+//!
+//! * [`sim_load`] — a **virtual-time discrete-event queueing model** of
+//!   the sharded lock service under three per-key lock policies. This is
+//!   what the figures plot: like every other deterministic figure in the
+//!   registry, the output must be a pure function of its configuration,
+//!   which no wall-clock run of real threads can be. The model prices the
+//!   *handoff* differently per policy — the thing the 1991 paper
+//!   measures: QSM hands the lock to one queued waiter at constant cost;
+//!   a ticket lock's release invalidates every spinner, so its handoff
+//!   cost grows with the waiter count; a TAS lock additionally grants in
+//!   effectively random order (the retry scramble), which is what blows
+//!   up the tail percentiles rather than the mean.
+//! * [`run_real`] — the same arrival/key/hold recipe driven through the
+//!   actual [`service::LockService`] on `std::thread` workers, recording
+//!   wall-clock wait/hold nanoseconds into the same `trace` histograms.
+//!   This is the CI smoke driver and the stress harness's engine; it is
+//!   deliberately *not* a figure input.
+//!
+//! Wait in both drivers is arrival-to-grant (it includes waiting for a
+//! worker and waiting for the key), hold is grant-to-release — the same
+//! decomposition the `waitdist` module uses for fig10.
+
+use crate::sweeps::{parallel_cells, sweep_threads};
+use simcore::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use trace::histo::Histogram;
+
+/// Per-key lock policy of the simulated service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockPolicy {
+    /// Queue lock: FIFO grant, constant-cost handoff (one wake, one line
+    /// transfer, however long the queue).
+    Qsm,
+    /// Ticket lock: FIFO grant, but release broadcasts to every spinner —
+    /// handoff cost grows with the waiter count.
+    Ticket,
+    /// Test-and-set: grant order is the retry scramble (effectively
+    /// random), and every handoff pays the full storm.
+    Tas,
+}
+
+impl LockPolicy {
+    /// The policies fig11/table6 compare, in figure order.
+    pub const ALL: &'static [LockPolicy] = &[LockPolicy::Qsm, LockPolicy::Ticket, LockPolicy::Tas];
+
+    /// Curve/row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockPolicy::Qsm => "qsm",
+            LockPolicy::Ticket => "ticket",
+            LockPolicy::Tas => "tas",
+        }
+    }
+
+    /// Cycles to hand a released key to its next holder, given how many
+    /// waiters are queued on the key at release time.
+    fn grant_cost(self, waiters: usize) -> u64 {
+        match self {
+            LockPolicy::Qsm => 40,
+            LockPolicy::Ticket => 30 + 12 * waiters as u64,
+            LockPolicy::Tas => 30 + 25 * waiters as u64,
+        }
+    }
+
+    /// Picks which waiter the released key goes to: queue position for
+    /// the FIFO policies, a random one for the TAS scramble.
+    fn pick(self, waiters: usize, rng: &mut Rng) -> usize {
+        match self {
+            LockPolicy::Qsm | LockPolicy::Ticket => 0,
+            LockPolicy::Tas => rng.next_below(waiters as u64) as usize,
+        }
+    }
+}
+
+/// Zipf(s) sampler over ranks `0..n` via the precomputed CDF — rank 0 is
+/// the hottest key. Shared by the simulated and the real driver.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s` (`s = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// If `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "a Zipf sampler needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as u64
+    }
+}
+
+/// Configuration shared by both drivers. Cycle-valued fields are virtual
+/// cycles in [`sim_load`]; [`run_real`] reinterprets holds as spin
+/// iterations and ignores the arrival process (its workers are
+/// closed-loop).
+#[derive(Debug, Clone)]
+pub struct ServiceLoadConfig {
+    /// Worker pool size — the service's concurrency limit.
+    pub threads: usize,
+    /// Distinct logical keys.
+    pub keys: usize,
+    /// Zipf exponent of the key popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Mean gap between arrival *bursts*, in cycles (exponential).
+    pub mean_gap: u64,
+    /// Max burst size: each burst carries `1..=max_burst` back-to-back
+    /// arrivals.
+    pub max_burst: usize,
+    /// Fraction of requests that are reads (short holds).
+    pub read_fraction: f64,
+    /// Mean hold for a read request, cycles (exponential).
+    pub read_hold: u64,
+    /// Mean hold for a write request, cycles (exponential).
+    pub write_hold: u64,
+    /// RNG seed; every derived stream forks from it.
+    pub seed: u64,
+}
+
+impl ServiceLoadConfig {
+    /// The baseline mix: bursty arrivals, strong skew, 80% short reads.
+    pub fn new(threads: usize, requests: usize) -> Self {
+        ServiceLoadConfig {
+            threads,
+            keys: 512,
+            zipf_s: 1.1,
+            requests,
+            mean_gap: 96,
+            max_burst: 8,
+            read_fraction: 0.8,
+            read_hold: 60,
+            write_hold: 400,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One simulated trial's outcome.
+#[derive(Debug, Clone)]
+pub struct ServiceLoadResult {
+    /// The policy simulated.
+    pub policy: LockPolicy,
+    /// Worker pool size.
+    pub threads: usize,
+    /// Requests completed (always `requests`).
+    pub completed: u64,
+    /// Virtual time of the last completion.
+    pub makespan: u64,
+    /// Arrival-to-grant times, cycles.
+    pub wait: Histogram,
+    /// Grant-to-release times, cycles.
+    pub hold: Histogram,
+}
+
+impl ServiceLoadResult {
+    /// Completed requests per thousand virtual cycles.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 * 1000.0 / self.makespan.max(1) as f64
+    }
+
+    /// Wait-time quantile `q` in `[0, 1]`, cycles.
+    pub fn wait_q(&self, q: f64) -> u64 {
+        self.wait.quantile(q)
+    }
+}
+
+/// A request's static description, fixed at generation time so every
+/// policy serves the *identical* arrival sequence.
+struct Req {
+    arrival: u64,
+    key: u64,
+    hold: u64,
+}
+
+/// Generates the arrival schedule: bursts of `1..=max_burst` requests
+/// separated by exponential gaps, keys Zipf-ranked, holds drawn from the
+/// read/write mix. Pure function of the config (all randomness from
+/// forked streams), so every policy replays the same offered load.
+fn generate_requests(cfg: &ServiceLoadConfig) -> Vec<Req> {
+    let mut root = Rng::new(cfg.seed);
+    let mut arrivals = root.fork(1);
+    let mut keys = root.fork(2);
+    let mut holds = root.fork(3);
+    let zipf = Zipf::new(cfg.keys, cfg.zipf_s);
+    let mut reqs = Vec::with_capacity(cfg.requests);
+    let mut t = 0u64;
+    while reqs.len() < cfg.requests {
+        t += arrivals.exp_cycles(cfg.mean_gap).max(1);
+        let burst = 1 + arrivals.next_below(cfg.max_burst as u64) as usize;
+        for _ in 0..burst.min(cfg.requests - reqs.len()) {
+            let hold = if holds.chance(cfg.read_fraction) {
+                holds.exp_cycles(cfg.read_hold).max(1)
+            } else {
+                holds.exp_cycles(cfg.write_hold).max(1)
+            };
+            reqs.push(Req {
+                arrival: t,
+                key: zipf.sample(&mut keys),
+                hold,
+            });
+        }
+    }
+    reqs
+}
+
+/// What a scheduled event does when it fires.
+enum EventKind {
+    Arrival(u32),
+    Completion(u32),
+}
+
+/// Per-key lock state while the key is live in the model.
+#[derive(Default)]
+struct KeyState {
+    held: bool,
+    waiters: VecDeque<u32>,
+}
+
+/// Runs the discrete-event model of the service under one policy.
+/// Deterministic: the event queue breaks time ties by insertion sequence,
+/// and all randomness comes from streams forked off the config seed.
+pub fn sim_load(policy: LockPolicy, cfg: &ServiceLoadConfig) -> ServiceLoadResult {
+    assert!(cfg.threads > 0, "the service load needs at least one worker");
+    let reqs = generate_requests(cfg);
+    let mut grant_rng = Rng::new(cfg.seed).fork(4);
+
+    // Min-heap of (time, insertion seq): seq makes tie order — and with
+    // it the whole run — deterministic.
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut payload: HashMap<u64, EventKind> = HashMap::new();
+    let mut seq = 0u64;
+    let mut schedule = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                        payload: &mut HashMap<u64, EventKind>,
+                        t: u64,
+                        kind: EventKind| {
+        heap.push(Reverse((t, seq)));
+        payload.insert(seq, kind);
+        seq += 1;
+    };
+    for (i, r) in reqs.iter().enumerate() {
+        schedule(&mut heap, &mut payload, r.arrival, EventKind::Arrival(i as u32));
+    }
+
+    let mut keys: HashMap<u64, KeyState> = HashMap::new();
+    let mut admission: VecDeque<u32> = VecDeque::new();
+    let mut free_workers = cfg.threads;
+    let mut wait = Histogram::new();
+    let mut hold = Histogram::new();
+    let mut completed = 0u64;
+    let mut makespan = 0u64;
+
+    // Grants `r` the key (recording its wait) and schedules its
+    // completion after `extra` handoff cycles plus its hold.
+    let grant = |r: u32,
+                 now: u64,
+                 extra: u64,
+                 reqs: &[Req],
+                 wait: &mut Histogram,
+                 heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                 payload: &mut HashMap<u64, EventKind>,
+                 seq: &mut u64| {
+        let req = &reqs[r as usize];
+        wait.record(now + extra - req.arrival);
+        heap.push(Reverse((now + extra + req.hold, *seq)));
+        payload.insert(*seq, EventKind::Completion(r));
+        *seq += 1;
+    };
+
+    while let Some(Reverse((now, id))) = heap.pop() {
+        match payload.remove(&id).expect("scheduled event has a payload") {
+            EventKind::Arrival(r) => {
+                if free_workers == 0 {
+                    admission.push_back(r);
+                    continue;
+                }
+                free_workers -= 1;
+                let key = reqs[r as usize].key;
+                let ks = keys.entry(key).or_default();
+                if ks.held {
+                    ks.waiters.push_back(r);
+                } else {
+                    ks.held = true;
+                    grant(r, now, 0, &reqs, &mut wait, &mut heap, &mut payload, &mut seq);
+                }
+            }
+            EventKind::Completion(r) => {
+                let req = &reqs[r as usize];
+                hold.record(req.hold);
+                completed += 1;
+                makespan = makespan.max(now);
+                // Release the key: hand off per policy, or retire it.
+                let ks = keys.get_mut(&req.key).expect("completed key is live");
+                if ks.waiters.is_empty() {
+                    keys.remove(&req.key);
+                } else {
+                    let n = ks.waiters.len();
+                    let next = ks
+                        .waiters
+                        .remove(policy.pick(n, &mut grant_rng))
+                        .expect("picked waiter in range");
+                    let cost = policy.grant_cost(n);
+                    grant(
+                        next, now, cost, &reqs, &mut wait, &mut heap, &mut payload, &mut seq,
+                    );
+                }
+                // Free the worker: admit the oldest queued arrival.
+                if let Some(q) = admission.pop_front() {
+                    let key = reqs[q as usize].key;
+                    let ks = keys.entry(key).or_default();
+                    if ks.held {
+                        ks.waiters.push_back(q);
+                    } else {
+                        ks.held = true;
+                        grant(q, now, 0, &reqs, &mut wait, &mut heap, &mut payload, &mut seq);
+                    }
+                } else {
+                    free_workers += 1;
+                }
+            }
+        }
+    }
+
+    debug_assert!(keys.is_empty(), "all keys retired at drain");
+    ServiceLoadResult {
+        policy,
+        threads: cfg.threads,
+        completed,
+        makespan,
+        wait,
+        hold,
+    }
+}
+
+/// The fig11/table6 sweep: every policy at every worker-pool size, fanned
+/// out across host threads like the other figure sweeps. Results come
+/// back in `(policy, threads)` grid order regardless of the fan-out.
+pub fn service_sweep(threads: &[usize], requests: usize) -> Vec<ServiceLoadResult> {
+    let cells: Vec<(LockPolicy, usize)> = LockPolicy::ALL
+        .iter()
+        .flat_map(|&p| threads.iter().map(move |&t| (p, t)))
+        .collect();
+    parallel_cells(cells.len(), sweep_threads(), |i| {
+        let (policy, t) = cells[i];
+        sim_load(policy, &ServiceLoadConfig::new(t, requests))
+    })
+}
+
+/// Configuration for the real-thread driver.
+#[derive(Debug, Clone)]
+pub struct RealServiceConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Lock/unlock operations per worker.
+    pub requests_per_thread: usize,
+    /// Distinct logical keys.
+    pub keys: usize,
+    /// Zipf exponent of key popularity.
+    pub zipf_s: f64,
+    /// Busy-spin iterations inside the critical section.
+    pub hold_spin: u32,
+    /// RNG seed for the key streams.
+    pub seed: u64,
+}
+
+impl RealServiceConfig {
+    /// The CI smoke shape: skewed keys, short holds.
+    pub fn smoke(threads: usize, requests_per_thread: usize) -> Self {
+        RealServiceConfig {
+            threads,
+            requests_per_thread,
+            keys: 4096,
+            zipf_s: 1.1,
+            hold_spin: 64,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Outcome of a real-thread run.
+#[derive(Debug, Clone)]
+pub struct RealServiceResult {
+    /// Lock/unlock round trips completed.
+    pub completed: u64,
+    /// Wall-clock for the whole run, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Arrival-to-grant, nanoseconds.
+    pub wait_ns: Histogram,
+    /// Grant-to-release, nanoseconds.
+    pub hold_ns: Histogram,
+    /// Table occupancy after teardown (`live` must be 0).
+    pub stats: service::TableStats,
+    /// Machine-wide futex accounting delta across the run.
+    pub futex: parking::futex::FutexTotals,
+}
+
+/// Drives the *real* [`service::LockService`] with closed-loop workers
+/// over Zipf-skewed keys: the CI smoke driver and the stress harness's
+/// engine. Wall-clock, hence never a figure input.
+pub fn run_real(svc: &service::LockService, cfg: &RealServiceConfig) -> RealServiceResult {
+    assert!(cfg.threads > 0, "the service load needs at least one worker");
+    let zipf = Zipf::new(cfg.keys, cfg.zipf_s);
+    let before = parking::futex::totals();
+    let start = std::time::Instant::now();
+    let mut per_thread: Vec<(Histogram, Histogram)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let zipf = &zipf;
+                s.spawn(move || {
+                    let mut rng = Rng::new(cfg.seed).fork(0x1000 + t as u64);
+                    let mut wait = Histogram::new();
+                    let mut hold = Histogram::new();
+                    for _ in 0..cfg.requests_per_thread {
+                        // Spread ranks across the key space so shard load
+                        // reflects the hash, not rank adjacency.
+                        let key = parking::futex::mix64(zipf.sample(&mut rng));
+                        let t0 = std::time::Instant::now();
+                        let guard = svc.lock(key);
+                        let granted = std::time::Instant::now();
+                        wait.record((granted - t0).as_nanos() as u64);
+                        for _ in 0..cfg.hold_spin {
+                            std::hint::spin_loop();
+                        }
+                        drop(guard);
+                        hold.record(granted.elapsed().as_nanos() as u64);
+                    }
+                    (wait, hold)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let mut wait_ns = Histogram::new();
+    let mut hold_ns = Histogram::new();
+    for (w, h) in per_thread.drain(..) {
+        wait_ns.merge(&w);
+        hold_ns.merge(&h);
+    }
+    RealServiceResult {
+        completed: (cfg.threads * cfg.requests_per_thread) as u64,
+        elapsed_ns,
+        wait_ns,
+        hold_ns,
+        stats: svc.stats(),
+        futex: parking::futex::totals().since(&before),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut rng = Rng::new(7);
+        let mut counts = [0u64; 100];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 not hot: {counts:?}");
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn sim_load_is_deterministic() {
+        let cfg = ServiceLoadConfig::new(16, 1_000);
+        let a = sim_load(LockPolicy::Tas, &cfg);
+        let b = sim_load(LockPolicy::Tas, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.wait.quantile(0.999), b.wait.quantile(0.999));
+        assert_eq!(a.completed, cfg.requests as u64);
+    }
+
+    #[test]
+    fn policies_separate_in_the_tail() {
+        let cfg = ServiceLoadConfig::new(32, 4_000);
+        let qsm = sim_load(LockPolicy::Qsm, &cfg);
+        let ticket = sim_load(LockPolicy::Ticket, &cfg);
+        let tas = sim_load(LockPolicy::Tas, &cfg);
+        // The paper's ordering: constant-handoff FIFO beats broadcast
+        // FIFO, and the random scramble owns the worst tail.
+        assert!(
+            qsm.wait_q(0.999) < ticket.wait_q(0.999),
+            "qsm p999 {} !< ticket p999 {}",
+            qsm.wait_q(0.999),
+            ticket.wait_q(0.999)
+        );
+        assert!(
+            ticket.wait_q(0.999) < tas.wait_q(0.999),
+            "ticket p999 {} !< tas p999 {}",
+            ticket.wait_q(0.999),
+            tas.wait_q(0.999)
+        );
+        assert!(qsm.throughput() >= ticket.throughput());
+    }
+
+    #[test]
+    fn every_request_completes_under_every_policy() {
+        for &policy in LockPolicy::ALL {
+            let cfg = ServiceLoadConfig::new(8, 500);
+            let r = sim_load(policy, &cfg);
+            assert_eq!(r.completed, 500, "{}", policy.name());
+            assert_eq!(r.wait.count(), 500);
+            assert_eq!(r.hold.count(), 500);
+        }
+    }
+
+    #[test]
+    fn real_driver_balances_and_drains() {
+        let svc = service::LockService::with_shards(64);
+        let cfg = RealServiceConfig {
+            threads: 4,
+            requests_per_thread: 200,
+            keys: 64,
+            zipf_s: 1.2,
+            hold_spin: 16,
+            seed: 42,
+        };
+        let r = run_real(&svc, &cfg);
+        assert_eq!(r.completed, 800);
+        assert_eq!(r.wait_ns.count(), 800);
+        assert_eq!(r.stats.live, 0, "keys left attached after drain");
+    }
+}

@@ -1,0 +1,116 @@
+//! Real-thread stress of the sharded lock service: churn far more
+//! distinct keys through one `LockService` than the slab will ever hold
+//! live, with enough cross-thread overlap to force real parking, then
+//! assert the teardown invariants the service promises:
+//!
+//!   - the table drains to zero live keys (every attach was detached),
+//!   - slab capacity stayed bounded by peak liveness, not by the number
+//!     of distinct keys (slots were recycled),
+//!   - machine-wide futex accounting balances: every park was matched
+//!     by a wake and a resume (`parks == wakes == resumes`).
+//!
+//! The futex counters are process-global, so everything here lives in
+//! ONE `#[test]` fn — a second concurrently-running test that parks
+//! would make the `since()` delta meaningless.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn million_key_churn_drains_and_balances() {
+    let before = parking::futex::totals();
+
+    let threads = 8usize;
+    // 8 threads x 128k keys + the shared band = >1M distinct keys.
+    let private_keys = 128 * 1024u64;
+    let shared_keys = 64u64;
+    let shared_rounds = 2_000u64;
+
+    let svc = Arc::new(service::LockService::with_shards(64));
+    let hits = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for id in 0..threads as u64 {
+            let svc = Arc::clone(&svc);
+            let hits = Arc::clone(&hits);
+            s.spawn(move || {
+                // Private band: a fresh key per request. Nothing ever
+                // contends here, so this measures pure attach/detach
+                // churn and slot recycling.
+                let base = 1 + id * private_keys;
+                for k in 0..private_keys {
+                    let key = parking::futex::mix64(base + k);
+                    let _g = svc.lock(key);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+                // Shared band: a small hot set all threads hammer, so
+                // the slow path actually parks and wakes.
+                for i in 0..shared_rounds {
+                    let key = u64::MAX - (i.wrapping_mul(id + 1) % shared_keys);
+                    let g = svc.lock(key);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    std::hint::black_box(&g);
+                }
+            });
+        }
+    });
+
+    let total = threads as u64 * (private_keys + shared_rounds);
+    assert_eq!(hits.load(Ordering::Relaxed), total);
+    assert!(
+        threads as u64 * private_keys >= 1_000_000,
+        "stress must churn at least a million distinct keys"
+    );
+
+    let stats = svc.stats();
+    assert_eq!(stats.live, 0, "all keys must detach at teardown: {stats:?}");
+    // Capacity tracks peak concurrent liveness (rounded up to whole
+    // 64-slot slabs per shard), not the million distinct keys churned.
+    assert!(
+        stats.capacity <= stats.peak_live + 64 * stats.shards,
+        "slab capacity {} not bounded by peak liveness {} ({} shards)",
+        stats.capacity,
+        stats.peak_live,
+        stats.shards
+    );
+    assert!(
+        stats.capacity < 100_000,
+        "capacity {} suggests slots leaked instead of recycling",
+        stats.capacity
+    );
+
+    let futex = parking::futex::totals().since(&before);
+    assert!(
+        futex.balanced(),
+        "futex accounting unbalanced at teardown: parks {} wakes {} resumes {}",
+        futex.parks,
+        futex.wakes,
+        futex.resumes
+    );
+
+    // The waiting-array semaphore shares the accounting: overflowing a
+    // small array with more waiters than slots must still balance.
+    let before_sem = parking::futex::totals();
+    let sem = Arc::new(service::WaitingArraySemaphore::new(2, 4));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let sem = Arc::clone(&sem);
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    sem.acquire();
+                    std::hint::black_box(&sem);
+                    sem.release();
+                }
+            });
+        }
+    });
+    assert_eq!(sem.permits(), 2);
+    let futex = parking::futex::totals().since(&before_sem);
+    assert!(
+        futex.balanced(),
+        "semaphore futex accounting unbalanced: parks {} wakes {} resumes {}",
+        futex.parks,
+        futex.wakes,
+        futex.resumes
+    );
+}
