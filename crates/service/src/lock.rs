@@ -7,10 +7,14 @@
 //!   waiters). The uncontended path is one CAS; a contender spins a short
 //!   [`qsm::Backoff`] budget (uncontended hand-offs complete in
 //!   nanoseconds; parking would only add a wake latency), then announces
-//!   itself by driving the word to 2 and parks. Release hands off to the
-//!   *oldest* parked waiter — the lot's FIFO dequeue is the QSM grant
-//!   order, so per-key fairness matches the paper's queue discipline
-//!   rather than a TAS-style retry scramble.
+//!   itself by driving the word to 2 and parks. Release wakes the
+//!   *oldest* parked waiter (the lot's FIFO dequeue), so grants are FIFO
+//!   **among parked waiters** — but release stores FREE rather than
+//!   handing the lock off, so a fresh arrival's fast-path CAS can barge
+//!   ahead of the woken waiter. That is the usual futex-mutex
+//!   throughput/fairness trade, not the paper's strict QSM queue
+//!   discipline; the QSM-faithful handoff lock lives in
+//!   `parking::QsmMutexBlocking`.
 //! - **Eventcount** — the word is a monotone sequence number;
 //!   [`EventKey::advance`] bumps it and wakes every waiter,
 //!   [`EventKey::await_at_least`] parks until the count passes a target,
@@ -69,7 +73,9 @@ impl LockService {
     }
 
     /// Acquires the mutex for `key`, blocking (spin-then-park) while a
-    /// holder is live. Waiters are granted oldest-first.
+    /// holder is live. Parked waiters are woken oldest-first, though a
+    /// concurrent fast-path acquirer can barge ahead of a woken waiter
+    /// (see the module docs).
     pub fn lock(&self, key: u64) -> KeyGuard<'_> {
         let slot = self.table.attach(key, SlotKind::Mutex);
         let word = slot.word();
@@ -101,12 +107,8 @@ impl LockService {
                 }
                 HELD => {
                     // Announce waiters; whoever holds it will wake us.
-                    let _ = word.compare_exchange(
-                        HELD,
-                        CONTENDED,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
+                    let _ =
+                        word.compare_exchange(HELD, CONTENDED, Ordering::SeqCst, Ordering::SeqCst);
                 }
                 _ => {
                     slot.wait(CONTENDED);
@@ -205,9 +207,10 @@ impl Drop for KeyGuard<'_> {
         let prev = self.slot.word().swap(FREE, Ordering::SeqCst);
         debug_assert!(prev == HELD || prev == CONTENDED, "unlock of a free lock");
         if prev == CONTENDED {
-            // Hand off to the oldest waiter. Waking exactly one is enough:
-            // the wakee re-acquires as CONTENDED, so its own release wakes
-            // the next in line.
+            // Wake the oldest parked waiter (no direct handoff: the word
+            // is already FREE, so a newcomer may beat the wakee to it).
+            // Waking exactly one is enough: the wakee re-acquires as
+            // CONTENDED, so its own release wakes the next in line.
             self.slot.wake(1);
         }
     }
@@ -226,7 +229,11 @@ impl EventKey<'_> {
 
     /// Bumps the count and wakes every waiter; returns the new count.
     pub fn advance(&self) -> u64 {
-        let new = self.slot.word().fetch_add(1, Ordering::SeqCst).wrapping_add(1);
+        let new = self
+            .slot
+            .word()
+            .fetch_add(1, Ordering::SeqCst)
+            .wrapping_add(1);
         self.slot.wake(usize::MAX);
         new
     }

@@ -20,7 +20,13 @@
 //! A batch [`WaitingArraySemaphore::release_n`] publishes every grant
 //! first and then issues all wakes in one
 //! [`parking::futex::futex_wake_batch`] sweep — one bucket lock per
-//! parking-lot bucket, not per waiter.
+//! parking-lot bucket, not per waiter. The sweep wakes **every** waiter
+//! parked on a granted slot, not just one: with more waiters than slots,
+//! tickets `t` and `t + W` park on the same word, and a wake-one for
+//! `t`'s grant could dequeue the `t + W` waiter, which re-parks
+//! (its own grant is still pending) and swallows the wake — stranding
+//! the granted waiter forever. Waking the whole slot turns that lost
+//! wakeup into a spurious wake the sharer's re-check loop absorbs.
 
 use crate::seq_ge;
 use qsm::{Backoff, CachePadded};
@@ -44,7 +50,10 @@ impl WaitingArraySemaphore {
     /// A semaphore with `permits` initial permits and a waiting array of
     /// at least `slots` slots (rounded up to a power of two). The array
     /// bounds *slot sharing*, not waiter count: more waiters than slots
-    /// simply share slots, at the cost of occasional spurious wakes.
+    /// simply share slots. A grant on a shared slot wakes every thread
+    /// parked there (see the module docs for why waking one could strand
+    /// the granted waiter), so sharing costs spurious wakes — never lost
+    /// ones.
     ///
     /// # Panics
     ///
@@ -157,8 +166,7 @@ impl WaitingArraySemaphore {
             // racing releaser (ticket + W) already advanced past us.
             let mut cur = slot.load(Ordering::SeqCst);
             while !seq_ge(cur, grant) {
-                match slot.compare_exchange_weak(cur, grant, Ordering::SeqCst, Ordering::SeqCst)
-                {
+                match slot.compare_exchange_weak(cur, grant, Ordering::SeqCst, Ordering::SeqCst) {
                     Ok(_) => break,
                     Err(now) => cur = now,
                 }
@@ -167,10 +175,13 @@ impl WaitingArraySemaphore {
         }
         let granted = addrs.len();
         if !addrs.is_empty() {
-            // One waiter per address occurrence; waiters whose grant was
-            // satisfied mid-spin (never parked) make the wake a no-op,
-            // and a shared-slot wake of the *wrong* waiter is a spurious
-            // wake its loop absorbs.
+            // Wakes every waiter parked on each granted slot. Waking only
+            // one per grant would lose wakeups under slot sharing: the
+            // dequeued waiter may be a sharer whose grant is still
+            // pending, which re-parks and swallows the wake. Over-woken
+            // sharers re-check their sequence and park again; waiters
+            // whose grant landed mid-spin (never parked) make the wake a
+            // no-op.
             parking::futex::futex_wake_batch(&addrs);
         }
         granted
@@ -282,6 +293,45 @@ mod tests {
         }
         for _ in 0..8 {
             sem.release();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(through.load(Ordering::SeqCst), 8);
+        assert_eq!(sem.permits(), 0);
+    }
+
+    /// Lost-wakeup regression: with more waiters than slots, tickets `t`
+    /// and `t + W` park on the same word, and a wake-one release could
+    /// dequeue the un-granted sharer (which re-parks, swallowing the
+    /// wake) while the granted waiter slept forever. One-at-a-time
+    /// releases into a single shared slot are the worst case; each must
+    /// admit a waiter.
+    #[test]
+    fn shared_slot_releases_reach_their_waiters() {
+        let sem = Arc::new(WaitingArraySemaphore::new(0, 1));
+        let through = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sem = Arc::clone(&sem);
+                let through = Arc::clone(&through);
+                thread::spawn(move || {
+                    sem.acquire();
+                    through.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        while sem.permits() != -8 {
+            thread::yield_now();
+        }
+        for i in 0..8 {
+            // Let the waiters exhaust their spin budgets and actually
+            // park, so the wake path (not the spin path) admits them.
+            thread::sleep(Duration::from_millis(1));
+            sem.release();
+            while through.load(Ordering::SeqCst) <= i {
+                thread::yield_now();
+            }
         }
         for h in handles {
             h.join().unwrap();
