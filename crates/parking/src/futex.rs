@@ -29,17 +29,31 @@
 //! [`futex_wait`] consumes parks in a loop gated on its own wake flag, and
 //! callers loop on their real condition as futex discipline requires.
 //!
+//! Waiters come in two kinds sharing the same bucket queues: blocking
+//! *threads* ([`ParkingLot::wait`]) and async *wakers*
+//! ([`ParkingLot::register`] → [`WaitEntry`]), so one futex word can hold
+//! parked threads and parked futures simultaneously and a wake releases
+//! them in one FIFO order. A registered waker entry supports
+//! *cancellation* ([`ParkingLot::cancel`]) for futures dropped mid-wait;
+//! the return value tells the caller whether a wake had already been
+//! consumed by the dying future and must be handed onward.
+//!
 //! Every lot additionally feeds the **machine-wide futex accounting**
 //! ([`totals`]): how many waiters actually parked, how many wake
 //! dequeues were issued, and how many parked waiters resumed. At any
 //! quiescent point `parks == wakes == resumes` — each park is ended by
 //! exactly one dequeue, and each dequeue resumes exactly one parked
-//! thread — which the stress suites assert at teardown.
+//! waiter — which the stress suites assert at teardown. Cancellation
+//! preserves the invariant by construction: withdrawing a still-queued
+//! entry self-accounts its wake and resume, and a cancel that lost the
+//! race to a real wake accounts only the resume (the wake was already
+//! counted by the waker).
 
 use qsm::CachePadded;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::task::Waker;
 use std::thread::{self, Thread};
 
 /// Number of buckets in the process-global parking lot. Collisions are
@@ -105,11 +119,25 @@ pub fn totals() -> FutexTotals {
     }
 }
 
-/// One parked thread: the word it parked on, how to wake it, and the flag
-/// that distinguishes a real wake from a spurious `park` return.
+/// How a dequeued waiter is resumed: a blocking thread is `unpark`ed, an
+/// async task's registered [`Waker`] is invoked so its executor re-polls
+/// the future. Both kinds share the same bucket queues — a single futex
+/// word can hold parked threads and parked wakers simultaneously, and FIFO
+/// order is preserved across the mix.
+enum WaitMode {
+    Thread(Thread),
+    /// The waker lives behind a mutex so the future can swap in a fresh
+    /// waker on every poll (executors may migrate tasks between wakers)
+    /// without racing the wake path, which `take`s it exactly once.
+    Task(Mutex<Option<Waker>>),
+}
+
+/// One parked waiter: the word it parked on, how to wake it, and the flag
+/// that distinguishes a real wake from a spurious `park` return (or, for
+/// tasks, from a poll that raced the wake).
 struct Waiter {
     addr: usize,
-    thread: Thread,
+    how: WaitMode,
     woken: AtomicBool,
 }
 
@@ -182,7 +210,7 @@ impl ParkingLot {
             }
             let waiter = Arc::new(Waiter {
                 addr,
-                thread: thread::current(),
+                how: WaitMode::Thread(thread::current()),
                 woken: AtomicBool::new(false),
             });
             queue.push_back(Arc::clone(&waiter));
@@ -288,8 +316,82 @@ impl ParkingLot {
                 wakee: trace::NO_PID,
             });
             waiter.woken.store(true, Ordering::Release);
-            waiter.thread.unpark();
+            match &waiter.how {
+                WaitMode::Thread(thread) => thread.unpark(),
+                WaitMode::Task(waker) => {
+                    // `take` so a late second wake of the same entry (a
+                    // recycled address, say) is a no-op rather than a
+                    // double re-poll request.
+                    if let Some(w) = waker.lock().unwrap().take() {
+                        w.wake();
+                    }
+                }
+            }
         }
+    }
+
+    /// The async analogue of [`ParkingLot::wait`]: enqueues a *waker*
+    /// entry iff `word` still holds `expected`, with the same re-check
+    /// under the bucket lock, and returns immediately. `Some(entry)` means
+    /// the entry is parked (one park is accounted, exactly as if a thread
+    /// had blocked) and the waker will be invoked by a future wake of this
+    /// word; `None` means the word had already changed and nothing was
+    /// enqueued.
+    ///
+    /// Every returned entry must eventually be consumed by exactly one of
+    /// [`WaitEntry::resume`] (after the wake) or [`ParkingLot::cancel`]
+    /// (the future was dropped) — that is what keeps the machine-wide
+    /// `parks == wakes == resumes` invariant intact across cancellation.
+    pub fn register(&self, word: &AtomicU64, expected: u64, waker: &Waker) -> Option<WaitEntry> {
+        let addr = addr_of(word);
+        let bucket = self.bucket_for(addr);
+        let waiter = {
+            let mut queue = bucket.queue.lock().unwrap();
+            if word.load(Ordering::SeqCst) != expected {
+                return None;
+            }
+            let waiter = Arc::new(Waiter {
+                addr,
+                how: WaitMode::Task(Mutex::new(Some(waker.clone()))),
+                woken: AtomicBool::new(false),
+            });
+            queue.push_back(Arc::clone(&waiter));
+            waiter
+        };
+        TOTAL_PARKS.fetch_add(1, Ordering::SeqCst);
+        crate::trace_hooks::record(trace::EventKind::FutexPark { addr });
+        Some(WaitEntry { waiter })
+    }
+
+    /// Withdraws a registered waker entry because its future is being
+    /// dropped. Returns `true` if the entry was still queued (no wake had
+    /// dequeued it): the park is closed out here with a self-accounted
+    /// wake + resume, and no wake was consumed. Returns `false` if a wake
+    /// had already dequeued the entry: the wake landed on a waiter that
+    /// will never poll again, so the caller **owns that grant** and must
+    /// hand it to the next waiter (re-wake the word, release the permit, …)
+    /// or it is lost; only the resume is accounted here.
+    pub fn cancel(&self, entry: WaitEntry) -> bool {
+        let addr = entry.waiter.addr;
+        let removed = {
+            let mut queue = self.bucket_for(addr).queue.lock().unwrap();
+            let before = queue.len();
+            queue.retain(|w| !Arc::ptr_eq(w, &entry.waiter));
+            queue.len() < before
+        };
+        if removed {
+            TOTAL_WAKES.fetch_add(1, Ordering::SeqCst);
+            crate::trace_hooks::record(trace::EventKind::FutexWake {
+                addr,
+                wakee: trace::NO_PID,
+            });
+        }
+        TOTAL_RESUMES.fetch_add(1, Ordering::SeqCst);
+        crate::trace_hooks::record(trace::EventKind::FutexResume {
+            addr,
+            waker: trace::NO_PID,
+        });
+        removed
     }
 
     /// How many threads are currently parked on `word` — a test
@@ -298,6 +400,59 @@ impl ParkingLot {
         let addr = addr_of(word);
         let queue = self.bucket_for(addr).queue.lock().unwrap();
         queue.iter().filter(|w| w.addr == addr).count()
+    }
+}
+
+/// A parked *waker* entry returned by [`ParkingLot::register`]: the async
+/// side of a futex wait. The owning future polls [`WaitEntry::woken`],
+/// refreshes its waker with [`WaitEntry::update_waker`] on every pending
+/// poll, and finishes the wait with [`WaitEntry::resume`] once woken — or
+/// withdraws it with [`ParkingLot::cancel`] when dropped mid-wait.
+///
+/// The entry does **not** keep the futex word alive; the owning future
+/// must (and in `service` does, via its pinned `SlotRef`).
+#[must_use = "a registered wait entry must be resumed or cancelled, or the \
+              futex accounting leaks a park"]
+pub struct WaitEntry {
+    waiter: Arc<Waiter>,
+}
+
+impl WaitEntry {
+    /// Whether a wake has dequeued this entry. Once true the entry will
+    /// never be woken again and must be consumed with
+    /// [`WaitEntry::resume`].
+    pub fn woken(&self) -> bool {
+        self.waiter.woken.load(Ordering::Acquire)
+    }
+
+    /// Installs the waker from the *current* poll, replacing the one
+    /// captured at registration. Closes the poll-vs-wake race: if a wake
+    /// slipped in between the caller's `woken()` check and the swap, the
+    /// stored waker may already have been taken and invoked — so after
+    /// swapping, a set `woken` flag self-wakes through the fresh waker to
+    /// guarantee the task is re-polled.
+    pub fn update_waker(&self, waker: &Waker) {
+        let WaitMode::Task(slot) = &self.waiter.how else {
+            unreachable!("WaitEntry wraps task-mode waiters only");
+        };
+        *slot.lock().unwrap() = Some(waker.clone());
+        if self.woken() {
+            if let Some(w) = slot.lock().unwrap().take() {
+                w.wake();
+            }
+        }
+    }
+
+    /// Consumes a woken entry, accounting the resume — the moment the
+    /// async wait "returns" the way a parked thread returns from
+    /// [`ParkingLot::wait`]. Call only after [`WaitEntry::woken`] is true.
+    pub fn resume(self) {
+        debug_assert!(self.woken(), "resume() before the entry was woken");
+        TOTAL_RESUMES.fetch_add(1, Ordering::SeqCst);
+        crate::trace_hooks::record(trace::EventKind::FutexResume {
+            addr: self.waiter.addr,
+            waker: trace::NO_PID,
+        });
     }
 }
 
@@ -338,6 +493,19 @@ pub fn futex_wake_addr(addr: usize, n: usize) -> usize {
 /// [`ParkingLot::wake_batch`].
 pub fn futex_wake_batch(addrs: &[usize]) -> usize {
     lot().wake_batch(addrs)
+}
+
+/// Registers an async waker entry on `word` in the process-global lot;
+/// see [`ParkingLot::register`].
+pub fn futex_register(word: &AtomicU64, expected: u64, waker: &Waker) -> Option<WaitEntry> {
+    lot().register(word, expected, waker)
+}
+
+/// Withdraws a waker entry registered through [`futex_register`]; see
+/// [`ParkingLot::cancel`] for the grant-ownership contract of the return
+/// value.
+pub fn futex_cancel(entry: WaitEntry) -> bool {
+    lot().cancel(entry)
 }
 
 /// How many threads are currently parked on `word` in the process-global
@@ -517,6 +685,119 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_bucket_lot_rejected() {
         ParkingLot::with_buckets(0);
+    }
+
+    /// A test waker that just records it fired.
+    struct FlagWaker(AtomicBool);
+
+    impl std::task::Wake for FlagWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn flag_waker() -> (Arc<FlagWaker>, std::task::Waker) {
+        let flag = Arc::new(FlagWaker(AtomicBool::new(false)));
+        let waker = std::task::Waker::from(Arc::clone(&flag));
+        (flag, waker)
+    }
+
+    #[test]
+    fn register_on_changed_word_returns_none() {
+        let word = AtomicU64::new(7);
+        let (_, waker) = flag_waker();
+        assert!(futex_register(&word, 3, &waker).is_none());
+        assert_eq!(parked_count(&word), 0);
+    }
+
+    #[test]
+    fn register_wake_resume_round_trip_fires_waker() {
+        let word = AtomicU64::new(0);
+        let (flag, waker) = flag_waker();
+        let before = totals();
+        let entry = futex_register(&word, 0, &waker).expect("word unchanged");
+        assert!(!entry.woken());
+        assert!(!flag.0.load(Ordering::SeqCst));
+        word.store(1, Ordering::SeqCst);
+        assert_eq!(futex_wake(&word, 1), 1);
+        assert!(entry.woken());
+        assert!(flag.0.load(Ordering::SeqCst), "waker not invoked");
+        entry.resume();
+        let delta = totals().since(&before);
+        assert!(delta.parks >= 1 && delta.balanced() || delta.parks > delta.resumes,
+            "concurrent tests may skew, but our own park/wake/resume landed: {delta:?}");
+    }
+
+    #[test]
+    fn cancel_before_wake_removes_entry_and_balances() {
+        let word = AtomicU64::new(0);
+        let (flag, waker) = flag_waker();
+        let entry = futex_register(&word, 0, &waker).expect("word unchanged");
+        assert_eq!(parked_count(&word), 1);
+        assert!(futex_cancel(entry), "no wake raced; entry was still queued");
+        assert_eq!(parked_count(&word), 0);
+        // Nobody left to wake, and the waker never fired.
+        assert_eq!(futex_wake(&word, usize::MAX), 0);
+        assert!(!flag.0.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn cancel_after_wake_reports_consumed_grant() {
+        let word = AtomicU64::new(0);
+        let (_, waker) = flag_waker();
+        let entry = futex_register(&word, 0, &waker).expect("word unchanged");
+        word.store(1, Ordering::SeqCst);
+        assert_eq!(futex_wake(&word, 1), 1);
+        // The wake already dequeued the entry: cancel must say so, so the
+        // caller knows it owns (and must forward) the grant.
+        assert!(!futex_cancel(entry));
+    }
+
+    #[test]
+    fn update_waker_after_missed_wake_self_wakes() {
+        let word = AtomicU64::new(0);
+        let (stale, stale_waker) = flag_waker();
+        let entry = futex_register(&word, 0, &stale_waker).expect("word unchanged");
+        word.store(1, Ordering::SeqCst);
+        assert_eq!(futex_wake(&word, 1), 1);
+        assert!(stale.0.load(Ordering::SeqCst));
+        // A poll racing that wake installs a fresh waker; the set woken
+        // flag must punch through to it or the task never re-polls.
+        let (fresh, fresh_waker) = flag_waker();
+        entry.update_waker(&fresh_waker);
+        assert!(fresh.0.load(Ordering::SeqCst), "missed-wake re-poll lost");
+        entry.resume();
+    }
+
+    /// Threads and wakers parked on the same word are one FIFO: a wake of
+    /// one releases the oldest regardless of kind.
+    #[test]
+    fn threads_and_wakers_share_one_fifo() {
+        let lot = Arc::new(ParkingLot::with_buckets(1));
+        let word = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let (lot, word) = (Arc::clone(&lot), Arc::clone(&word));
+            thread::spawn(move || {
+                while word.load(Ordering::SeqCst) == 0 {
+                    lot.wait(&word, 0);
+                }
+            })
+        };
+        while lot.parked_count(&word) == 0 {
+            thread::yield_now();
+        }
+        let (flag, waker) = flag_waker();
+        let entry = lot.register(&word, 0, &waker).expect("word unchanged");
+        assert_eq!(lot.parked_count(&word), 2);
+        word.store(1, Ordering::SeqCst);
+        // Oldest first: the thread parked before the waker registered.
+        assert_eq!(lot.wake_addr(addr_of(&word), 1), 1);
+        handle.join().unwrap();
+        assert!(!entry.woken(), "wake-one released the waker out of order");
+        assert!(!flag.0.load(Ordering::SeqCst));
+        assert_eq!(lot.wake_addr(addr_of(&word), 1), 1);
+        assert!(entry.woken());
+        entry.resume();
     }
 
     /// Batched wake releases every waiter parked on each distinct

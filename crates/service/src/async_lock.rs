@@ -1,0 +1,737 @@
+//! The async front end: poll-based futures over the *same*
+//! [`ShardedTable`](crate::table::ShardedTable) the blocking service
+//! uses.
+//!
+//! Nothing here forks the protocol. An async locker drives the identical
+//! three-state mutex word, parks in the identical per-table
+//! [`parking::futex::ParkingLot`] — as a *waker* entry instead of a
+//! blocked thread — and is woken by the identical FIFO dequeue, so one
+//! key can serve blocking threads and async tasks simultaneously and
+//! neither side can starve the other by protocol mismatch. `SlotRef`
+//! pinning is unchanged: every future holds its slot reference from
+//! construction to completion, which is the same "every parked waiter
+//! holds a reference" rule that makes slot recycling sound.
+//!
+//! ## Cancellation
+//!
+//! Dropping a future mid-wait is a first-class operation, and each
+//! primitive owes a different repair:
+//!
+//! - **Mutex** ([`LockFuture`]) — withdraw the waker registration. If a
+//!   release had already *chosen* this waiter (wake-one dequeued it), the
+//!   dying future owns that grant: it re-wakes the slot so the next
+//!   waiter inherits the baton, otherwise the word sits FREE over a
+//!   parked queue forever.
+//! - **Semaphore** ([`crate::semaphore::AcquireFuture`]) — restore the
+//!   ticket through the abandoned-ticket protocol (see the semaphore
+//!   module docs): an unpublished grant is recycled by the releaser that
+//!   eventually reaches the ticket, a published one is handed onward as a
+//!   fresh release.
+//! - **Eventcount** ([`EventWaitFuture`]) — withdraw the registration;
+//!   `advance` wakes *all* waiters, so a consumed wake deprived nobody.
+//! - **Barrier** ([`BarrierFuture`]) — un-arrive: CAS the arrival count
+//!   back down if the round has not completed, so the remaining parties
+//!   wait for a real replacement instead of a ghost arrival.
+//!
+//! In every path the futex accounting stays balanced: a withdrawn
+//! registration self-accounts its wake + resume, a consumed one accounts
+//! the resume and hands its grant onward (see
+//! [`parking::futex::ParkingLot::cancel`]).
+//!
+//! ## Multi-key locking
+//!
+//! [`AsyncLockService::lock_many`] acquires a key *set* deadlock-free by
+//! sorting the keys into the table's canonical order — shard index, then
+//! key — and two-phase-acquiring: all locks are taken in that order
+//! (growing phase) and released together when the [`MultiGuard`] drops
+//! (shrinking phase). Any two tasks acquire their common keys in the same
+//! global order, so the wait-for graph cannot cycle.
+
+use crate::lock::{CONTENDED, FREE, HELD};
+use crate::table::{SlotKind, SlotRef, TableStats};
+use crate::{EventKey, KeyGuard, LockService};
+use parking::futex::WaitEntry;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// The async lock service: a thin view over a [`LockService`] whose
+/// futures and blocking calls share one table, one parking lot, and one
+/// protocol per key.
+pub struct AsyncLockService {
+    sync: LockService,
+}
+
+impl Default for AsyncLockService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AsyncLockService {
+    /// A service with `SYNCMECH_SERVICE_SHARDS` shards (default 256).
+    pub fn new() -> Self {
+        Self::from_sync(LockService::new())
+    }
+
+    /// A service with an explicit shard count (rounded up to a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// If `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::from_sync(LockService::with_shards(shards))
+    }
+
+    /// Wraps an existing blocking service; sync and async callers then
+    /// share every key.
+    pub fn from_sync(sync: LockService) -> Self {
+        AsyncLockService { sync }
+    }
+
+    /// The blocking half, for threads living alongside the tasks.
+    pub fn sync(&self) -> &LockService {
+        &self.sync
+    }
+
+    /// The backing table's occupancy counters.
+    pub fn stats(&self) -> TableStats {
+        self.sync.stats()
+    }
+
+    /// Acquires the mutex for `key` asynchronously. The returned future
+    /// attaches the key's slot immediately (so the slot is pinned for the
+    /// future's whole lifetime) but contends for the word only when
+    /// polled; dropping it mid-wait cancels cleanly (see the module
+    /// docs).
+    pub fn lock(&self, key: u64) -> LockFuture<'_> {
+        LockFuture {
+            slot: Some(self.sync.table().attach(key, SlotKind::Mutex)),
+            entry: None,
+            parked: false,
+        }
+    }
+
+    /// Acquires the mutex for `key` iff it is free right now.
+    pub fn try_lock(&self, key: u64) -> Option<KeyGuard<'_>> {
+        self.sync.try_lock(key)
+    }
+
+    /// Acquires every key in `keys` without deadlock risk: the keys are
+    /// sorted into the table's canonical order (shard index, then key)
+    /// and locked in that order, whatever order the caller listed them
+    /// in. Resolves to a [`MultiGuard`] holding all of them; dropping the
+    /// future mid-acquisition releases the prefix already held and
+    /// cancels the in-flight lock.
+    ///
+    /// # Panics
+    ///
+    /// If `keys` contains a duplicate (locking one key twice in a set
+    /// self-deadlocks by construction).
+    pub fn lock_many(&self, keys: &[u64]) -> LockManyFuture<'_> {
+        let mut sorted: Vec<u64> = keys.to_vec();
+        sorted.sort_unstable_by_key(|&k| (self.sync.table().shard_of(k), k));
+        for pair in sorted.windows(2) {
+            assert!(
+                pair[0] != pair[1],
+                "lock_many keys must be distinct; key {:#x} appears twice",
+                pair[0]
+            );
+        }
+        LockManyFuture {
+            svc: self,
+            keys: sorted,
+            acquired: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// A handle to `key`'s eventcount; [`EventKey::wait_for`] is the
+    /// async counterpart of `await_at_least`.
+    pub fn eventcount(&self, key: u64) -> EventKey<'_> {
+        self.sync.eventcount(key)
+    }
+
+    /// Waits at the barrier for `key` asynchronously until `parties`
+    /// tasks (or threads — the barrier is shared with the blocking
+    /// [`LockService::barrier_wait`]) have arrived; resolves to `true` on
+    /// exactly one of them. The future arrives when first polled;
+    /// dropping it mid-wait withdraws the arrival.
+    ///
+    /// # Panics
+    ///
+    /// When polled: if `parties` is zero, or more than `parties` arrive
+    /// in one round.
+    pub fn barrier_wait(&self, key: u64, parties: u32) -> BarrierFuture<'_> {
+        BarrierFuture {
+            slot: Some(self.sync.table().attach(key, SlotKind::Barrier)),
+            parties,
+            phase: BarrierPhase::Arriving,
+            entry: None,
+        }
+    }
+}
+
+/// Shared pending-entry step for every future here: `true` means the
+/// entry is still parked (waker refreshed — return `Pending`), `false`
+/// means the caller should re-check its condition (no entry, or the
+/// entry was woken and has been resumed).
+fn entry_still_parked(entry: &mut Option<WaitEntry>, waker: &Waker) -> bool {
+    let Some(e) = entry.take() else {
+        return false;
+    };
+    if e.woken() {
+        e.resume();
+        false
+    } else {
+        e.update_waker(waker);
+        *entry = Some(e);
+        true
+    }
+}
+
+/// Future returned by [`AsyncLockService::lock`]; resolves to the same
+/// [`KeyGuard`] the blocking path returns.
+#[must_use = "futures do nothing unless polled"]
+pub struct LockFuture<'a> {
+    /// The pinned slot; taken (moved into the guard) on completion.
+    slot: Option<SlotRef<'a>>,
+    entry: Option<WaitEntry>,
+    /// Whether this future ever parked. After a park-wake cycle the lock
+    /// is acquired as CONTENDED, exactly like the blocking slow path: we
+    /// cannot know whether other waiters remain, so our own release must
+    /// wake.
+    parked: bool,
+}
+
+impl<'a> Future for LockFuture<'a> {
+    type Output = KeyGuard<'a>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<KeyGuard<'a>> {
+        let this = self.get_mut();
+        if entry_still_parked(&mut this.entry, cx.waker()) {
+            return Poll::Pending;
+        }
+        let slot = this.slot.as_ref().expect("LockFuture polled after completion");
+        let word = slot.word();
+        loop {
+            match word.load(Ordering::SeqCst) {
+                FREE => {
+                    let next = if this.parked { CONTENDED } else { HELD };
+                    if word
+                        .compare_exchange(FREE, next, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        let slot = this.slot.take().expect("slot present until completion");
+                        return Poll::Ready(KeyGuard::from_acquired(slot));
+                    }
+                }
+                HELD => {
+                    // Announce waiters; whoever holds it will wake us.
+                    let _ =
+                        word.compare_exchange(HELD, CONTENDED, Ordering::SeqCst, Ordering::SeqCst);
+                }
+                _ => {
+                    // Registered-iff-still-CONTENDED, the same
+                    // re-check-under-the-bucket-lock discipline as the
+                    // blocking path's slot.wait(CONTENDED).
+                    match slot.register_waker(CONTENDED, cx.waker()) {
+                        Some(e) => {
+                            this.parked = true;
+                            this.entry = Some(e);
+                            return Poll::Pending;
+                        }
+                        None => continue,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LockFuture<'_> {
+    fn drop(&mut self) {
+        let Some(entry) = self.entry.take() else {
+            return;
+        };
+        let slot = self.slot.as_ref().expect("entry implies slot");
+        if !slot.cancel_waiter(entry) {
+            // A release already chose us: it swapped the word to FREE and
+            // woke exactly one waiter — this future. Nobody else will be
+            // woken for that release, so pass the baton or the remaining
+            // queue sleeps over a free lock.
+            slot.wake(1);
+        }
+    }
+}
+
+/// Holds every key of a [`AsyncLockService::lock_many`] set; all released
+/// together on drop (the two-phase shrink).
+pub struct MultiGuard<'a> {
+    guards: Vec<KeyGuard<'a>>,
+}
+
+impl<'a> MultiGuard<'a> {
+    /// The held guards, in acquisition (canonical) order.
+    pub fn guards(&self) -> &[KeyGuard<'a>] {
+        &self.guards
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// True iff the set was empty.
+    pub fn is_empty(&self) -> bool {
+        self.guards.is_empty()
+    }
+}
+
+/// Future returned by [`AsyncLockService::lock_many`]: the growing phase
+/// of the two-phase acquisition, one key at a time in canonical order.
+#[must_use = "futures do nothing unless polled"]
+pub struct LockManyFuture<'a> {
+    svc: &'a AsyncLockService,
+    keys: Vec<u64>,
+    acquired: Vec<KeyGuard<'a>>,
+    current: Option<LockFuture<'a>>,
+}
+
+impl<'a> Future for LockManyFuture<'a> {
+    type Output = MultiGuard<'a>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<MultiGuard<'a>> {
+        let this = self.get_mut();
+        loop {
+            if this.acquired.len() == this.keys.len() {
+                return Poll::Ready(MultiGuard {
+                    guards: std::mem::take(&mut this.acquired),
+                });
+            }
+            let fut = this
+                .current
+                .get_or_insert_with(|| this.svc.lock(this.keys[this.acquired.len()]));
+            match Pin::new(fut).poll(cx) {
+                Poll::Ready(guard) => {
+                    this.current = None;
+                    this.acquired.push(guard);
+                }
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+    }
+}
+
+// No Drop impl needed: dropping the fields releases the already-acquired
+// prefix (each KeyGuard unlocks) and cancels the in-flight LockFuture.
+
+/// Future returned by [`EventKey::wait_for`]; resolves to the observed
+/// count once it reaches the target.
+#[must_use = "futures do nothing unless polled"]
+pub struct EventWaitFuture<'k, 'a> {
+    key: &'k EventKey<'a>,
+    target: u64,
+    entry: Option<WaitEntry>,
+    done: bool,
+}
+
+impl<'a> EventKey<'a> {
+    /// The async counterpart of [`EventKey::await_at_least`]: resolves
+    /// once the count reaches at least `target` (wraparound-safe),
+    /// yielding the count observed. Dropping the future mid-wait just
+    /// withdraws its registration — `advance` wakes all waiters, so no
+    /// grant hand-off is owed.
+    pub fn wait_for(&self, target: u64) -> EventWaitFuture<'_, 'a> {
+        EventWaitFuture {
+            key: self,
+            target,
+            entry: None,
+            done: false,
+        }
+    }
+}
+
+impl Future for EventWaitFuture<'_, '_> {
+    type Output = u64;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u64> {
+        let this = self.get_mut();
+        assert!(!this.done, "EventWaitFuture polled after completion");
+        if entry_still_parked(&mut this.entry, cx.waker()) {
+            return Poll::Pending;
+        }
+        loop {
+            let cur = this.key.read();
+            if crate::seq_ge(cur, this.target) {
+                this.done = true;
+                return Poll::Ready(cur);
+            }
+            match this.key.slot().register_waker(cur, cx.waker()) {
+                Some(e) => {
+                    this.entry = Some(e);
+                    return Poll::Pending;
+                }
+                None => continue,
+            }
+        }
+    }
+}
+
+impl Drop for EventWaitFuture<'_, '_> {
+    fn drop(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            // advance() wakes every waiter, so a consumed wake deprived
+            // nobody; no baton to pass.
+            let _ = self.key.slot().cancel_waiter(entry);
+        }
+    }
+}
+
+/// Where a [`BarrierFuture`] is in the barrier protocol.
+enum BarrierPhase {
+    /// Not yet polled: no arrival recorded.
+    Arriving,
+    /// Arrived in `round`, waiting for the round counter to move.
+    Waiting { round: u64 },
+    /// Released (or cancelled).
+    Done,
+}
+
+/// Future returned by [`AsyncLockService::barrier_wait`]; resolves to
+/// `true` on the task whose arrival released the round.
+#[must_use = "futures do nothing unless polled"]
+pub struct BarrierFuture<'a> {
+    slot: Option<SlotRef<'a>>,
+    parties: u32,
+    phase: BarrierPhase,
+    entry: Option<WaitEntry>,
+}
+
+impl Future for BarrierFuture<'_> {
+    type Output = bool;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let this = self.get_mut();
+        if entry_still_parked(&mut this.entry, cx.waker()) {
+            return Poll::Pending;
+        }
+        let slot = this.slot.as_ref().expect("BarrierFuture polled after completion");
+        let word = slot.word();
+        loop {
+            match this.phase {
+                BarrierPhase::Arriving => {
+                    assert!(this.parties > 0, "a barrier needs at least one party");
+                    let cur = word.load(Ordering::SeqCst);
+                    let arrivals = (cur & u32::MAX as u64) as u32;
+                    assert!(
+                        arrivals < this.parties,
+                        "barrier key {:#x}: more than {} parties arrived in one round",
+                        slot.key(),
+                        this.parties
+                    );
+                    if arrivals + 1 == this.parties {
+                        let next = (cur >> 32).wrapping_add(1) << 32;
+                        if word
+                            .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            slot.wake(usize::MAX);
+                            this.phase = BarrierPhase::Done;
+                            return Poll::Ready(true);
+                        }
+                    } else if word
+                        .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        this.phase = BarrierPhase::Waiting { round: cur >> 32 };
+                    }
+                }
+                BarrierPhase::Waiting { round } => {
+                    let now = word.load(Ordering::SeqCst);
+                    if now >> 32 != round {
+                        this.phase = BarrierPhase::Done;
+                        return Poll::Ready(false);
+                    }
+                    match slot.register_waker(now, cx.waker()) {
+                        Some(e) => {
+                            this.entry = Some(e);
+                            return Poll::Pending;
+                        }
+                        None => continue,
+                    }
+                }
+                BarrierPhase::Done => panic!("BarrierFuture polled after completion"),
+            }
+        }
+    }
+}
+
+impl Drop for BarrierFuture<'_> {
+    fn drop(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            // Round completion wakes every waiter; no baton owed.
+            let _ = self
+                .slot
+                .as_ref()
+                .expect("entry implies slot")
+                .cancel_waiter(entry);
+        }
+        if let BarrierPhase::Waiting { round } = self.phase {
+            // Un-arrive: withdraw our arrival unless the round already
+            // completed (in which case it consumed the arrival and there
+            // is nothing to undo).
+            let word = self.slot.as_ref().expect("waiting implies slot").word();
+            let mut cur = word.load(Ordering::SeqCst);
+            while cur >> 32 == round {
+                debug_assert!(cur & u32::MAX as u64 > 0, "un-arrive with no arrivals");
+                match word.compare_exchange_weak(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                    Ok(_) => break,
+                    Err(now) => cur = now,
+                }
+            }
+        }
+    }
+}
+
+/// Drives a future to completion on the calling thread, parking between
+/// polls — the smallest possible executor, for tests and for blocking
+/// callers that want to reuse an async code path. The deterministic
+/// virtual-time executor lives in `workloads::executor`.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    let mut fut = std::pin::pin!(fut);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            // thread::park can return spuriously; the poll loop is the
+            // re-check.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::thread;
+
+    struct FlagWaker(AtomicBool);
+
+    impl std::task::Wake for FlagWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn poll_once<F: Future + Unpin>(fut: &mut F) -> (Poll<F::Output>, Arc<FlagWaker>) {
+        let flag = Arc::new(FlagWaker(AtomicBool::new(false)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        (Pin::new(fut).poll(&mut cx), flag)
+    }
+
+    #[test]
+    fn uncontended_async_lock_round_trip() {
+        let svc = AsyncLockService::with_shards(4);
+        {
+            let g = block_on(svc.lock(7));
+            assert_eq!(g.key(), 7);
+            assert!(svc.try_lock(7).is_none());
+        }
+        assert!(svc.try_lock(7).is_some());
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn async_and_blocking_lockers_exclude_each_other() {
+        let svc = Arc::new(AsyncLockService::with_shards(8));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let threads = 6;
+        let iters = 300;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..iters {
+                        // Alternate halves: async tasks and blocking
+                        // threads contend the same key.
+                        let _g = if i % 2 == 0 {
+                            block_on(svc.lock(42))
+                        } else {
+                            svc.sync().lock(42)
+                        };
+                        let v = counter.load(Ordering::SeqCst);
+                        thread::yield_now();
+                        counter.store(v + 1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), threads * iters);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    /// The baton-pass on cancel: a release chooses waiter A (wake-one);
+    /// A's future is dropped before it runs; waiter B must inherit the
+    /// grant, not sleep over a free lock.
+    #[test]
+    fn dropped_woken_future_hands_the_baton_on() {
+        let svc = AsyncLockService::with_shards(1);
+        let holder = svc.sync().lock(9);
+        let mut fut_a = svc.lock(9);
+        let mut fut_b = svc.lock(9);
+        assert!(matches!(poll_once(&mut fut_a).0, Poll::Pending));
+        assert!(matches!(poll_once(&mut fut_b).0, Poll::Pending));
+        drop(holder); // wakes exactly one waiter: A (FIFO)
+        drop(fut_a); // cancel-after-wake: must re-wake the slot
+        let (polled, _) = poll_once(&mut fut_b);
+        assert!(
+            matches!(polled, Poll::Ready(_)),
+            "B did not inherit A's grant"
+        );
+        drop(polled);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    /// Cancelling a never-woken waiter just removes it; the next release
+    /// still reaches the remaining waiter.
+    #[test]
+    fn dropped_parked_future_leaves_queue_intact() {
+        let svc = AsyncLockService::with_shards(1);
+        let holder = svc.sync().lock(5);
+        let mut fut_a = svc.lock(5);
+        let mut fut_b = svc.lock(5);
+        assert!(matches!(poll_once(&mut fut_a).0, Poll::Pending));
+        assert!(matches!(poll_once(&mut fut_b).0, Poll::Pending));
+        drop(fut_a); // cancel-before-wake
+        drop(holder);
+        let (polled, _) = poll_once(&mut fut_b);
+        assert!(matches!(polled, Poll::Ready(_)));
+        drop(polled);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn lock_many_acquires_all_keys_in_canonical_order() {
+        let svc = AsyncLockService::with_shards(4);
+        let guard = block_on(svc.lock_many(&[30, 10, 20]));
+        assert_eq!(guard.len(), 3);
+        let mut keys: Vec<u64> = guard.guards().iter().map(|g| g.key()).collect();
+        for k in [10, 20, 30] {
+            assert!(svc.try_lock(k).is_none(), "key {k} not held");
+            assert!(keys.contains(&k));
+        }
+        // Canonical order is (shard, key): stable across runs for a fixed
+        // shard count, and sorted by key within a shard.
+        keys.sort_unstable();
+        assert_eq!(keys, vec![10, 20, 30]);
+        drop(guard);
+        assert_eq!(svc.stats().live, 0);
+        assert!(svc.try_lock(20).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be distinct")]
+    fn lock_many_rejects_duplicate_keys() {
+        let svc = AsyncLockService::with_shards(4);
+        drop(svc.lock_many(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn lock_many_cancel_releases_held_prefix() {
+        let svc = AsyncLockService::with_shards(4);
+        // Hold one key so the multi-lock stalls partway.
+        let blocker = svc.sync().lock(20);
+        let mut fut = svc.lock_many(&[10, 20, 30]);
+        assert!(matches!(poll_once(&mut fut).0, Poll::Pending));
+        // Some prefix is held; cancelling must release it all.
+        drop(fut);
+        drop(blocker);
+        for k in [10, 20, 30] {
+            assert!(svc.try_lock(k).is_some(), "key {k} still held after cancel");
+        }
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn event_wait_for_resolves_on_advance() {
+        let svc = AsyncLockService::with_shards(4);
+        let ec = svc.eventcount(99);
+        let mut fut = ec.wait_for(2);
+        assert!(matches!(poll_once(&mut fut).0, Poll::Pending));
+        ec.advance();
+        assert!(matches!(poll_once(&mut fut).0, Poll::Pending));
+        ec.advance();
+        let (polled, flag) = poll_once(&mut fut);
+        assert!(flag.0.load(Ordering::SeqCst) || matches!(polled, Poll::Ready(2)));
+        assert!(matches!(polled, Poll::Ready(2)));
+        drop(fut);
+        drop(ec);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn async_barrier_mixes_with_blocking_parties() {
+        let svc = Arc::new(AsyncLockService::with_shards(4));
+        let parties = 4u32;
+        let handles: Vec<_> = (0..parties)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                thread::spawn(move || {
+                    if i % 2 == 0 {
+                        block_on(svc.barrier_wait(77, parties))
+                    } else {
+                        svc.sync().barrier_wait(77, parties)
+                    }
+                })
+            })
+            .collect();
+        let leaders = handles
+            .into_iter()
+            .filter(|_| true)
+            .map(|h| h.join().unwrap())
+            .filter(|&l| l)
+            .count();
+        assert_eq!(leaders, 1);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    /// A cancelled barrier arrival un-arrives: the round completes with a
+    /// replacement party instead of hanging one short.
+    #[test]
+    fn cancelled_barrier_arrival_is_withdrawn() {
+        let svc = AsyncLockService::with_shards(1);
+        let mut ghost = svc.barrier_wait(3, 2);
+        assert!(matches!(poll_once(&mut ghost).0, Poll::Pending));
+        drop(ghost); // un-arrives
+        let mut a = svc.barrier_wait(3, 2);
+        assert!(matches!(poll_once(&mut a).0, Poll::Pending));
+        // If the ghost arrival had leaked, this second arrival would
+        // complete the round as the third party and trip the assert; with
+        // the withdrawal it is the releasing second arrival.
+        let mut b = svc.barrier_wait(3, 2);
+        assert!(matches!(poll_once(&mut b).0, Poll::Ready(true)));
+        assert!(matches!(poll_once(&mut a).0, Poll::Ready(false)));
+        drop(a);
+        drop(b);
+        assert_eq!(svc.stats().live, 0);
+    }
+}

@@ -28,29 +28,43 @@
 //!   grant is *published* as a sequence number, so releasers never scan
 //!   waiter lists and a batch release issues all its wakes in one sweep
 //!   ([`parking::futex::futex_wake_batch`]).
+//! - [`async_lock::AsyncLockService`] — the async-native front end:
+//!   poll-based futures (`lock`, `lock_many`, eventcount waits, barrier
+//!   waits, and the semaphore's `acquire_async`) over the *same* table
+//!   and slot words, sharing the parking lot's FIFO queues with blocking
+//!   threads via waker-or-thread wait entries. Dropping a future
+//!   mid-wait is cancellation, and the drop repairs the protocol —
+//!   baton-passing mutex grants, abandoned-ticket restoration in the
+//!   semaphore, barrier un-arrival — so the machine-wide
+//!   `parks == wakes == resumes` invariant spans both worlds.
 //!
 //! The load generator that drives this crate lives in
-//! `workloads::service_load`; the figures it feeds (`fig11`, `table6`)
-//! are registered in `bench::figures`.
+//! `workloads::service_load`; the figures it feeds (`fig11`, `table6`,
+//! `fig12`) are registered in `bench::figures`.
 //!
 //! ## Environment knobs
 //!
 //! | Variable | Meaning |
 //! |---|---|
 //! | `SYNCMECH_SERVICE_SHARDS` | shard count for [`lock::LockService::new`] (default 256, rounded up to a power of two) |
-//! | `SYNCMECH_SERVICE_THREADS` | worker threads for the real-thread service load generator (default: host parallelism) |
+//! | `SYNCMECH_SERVICE_THREADS` | worker threads for the real-thread service load generator (default: host parallelism; clamped to [`MAX_THREAD_OVERSUB`]× the host parallelism, with a warning) |
 //!
 //! Both reject `0` and non-numeric values loudly (see [`service_shards_from`]
 //! and [`service_threads_from`]): a user who sets a knob meant to control
 //! it, and a silent fallback would make a typo look like a performance
 //! mystery.
 
+pub mod async_lock;
 pub mod lock;
 pub mod semaphore;
 pub mod table;
 
+pub use async_lock::{
+    block_on, AsyncLockService, BarrierFuture, EventWaitFuture, LockFuture, LockManyFuture,
+    MultiGuard,
+};
 pub use lock::{EventKey, KeyGuard, LockService};
-pub use semaphore::WaitingArraySemaphore;
+pub use semaphore::{AcquireFuture, WaitingArraySemaphore};
 pub use table::{ShardedTable, SlotKind, SlotRef, TableStats};
 
 /// Default shard count for a [`LockService`] when
@@ -101,28 +115,67 @@ pub fn service_shards_from(var: Option<&str>) -> Result<usize, String> {
     }
 }
 
+/// Hard ceiling on worker-thread oversubscription in the real-thread
+/// load driver, as a multiple of the host's available parallelism.
+/// Closed-loop workers spend most of their time blocked, so some
+/// oversubscription is legitimate; a value orders of magnitude past the
+/// core count is a typo (`SYNCMECH_SERVICE_THREADS=1000` for `100`) that
+/// previously sailed through validation and spawned a thread army the
+/// driver could not actually schedule — the knob was effectively ignored
+/// as a *worker* count and became an OOM lever. Such values are now
+/// clamped, with a warning.
+pub const MAX_THREAD_OVERSUB: usize = 8;
+
+/// The resolved worker-thread policy: the count to use, plus the
+/// originally requested value when it had to be clamped (so callers can
+/// warn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceThreads {
+    /// Worker threads the driver should spawn.
+    pub threads: usize,
+    /// `Some(requested)` iff the request exceeded the oversubscription
+    /// ceiling and was clamped down to `threads`.
+    pub clamped_from: Option<usize>,
+}
+
 /// Worker threads for the real-thread service load generator:
 /// `SYNCMECH_SERVICE_THREADS` if set, else the host's available
-/// parallelism.
+/// parallelism. Values beyond [`MAX_THREAD_OVERSUB`]× the host
+/// parallelism are clamped, with a warning on stderr.
 ///
 /// # Panics
 ///
 /// If the variable is set to anything other than a positive integer.
 pub fn service_threads() -> usize {
     let var = std::env::var("SYNCMECH_SERVICE_THREADS").ok();
-    match service_threads_from(var.as_deref()) {
-        Ok(n) => n,
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match service_threads_from(var.as_deref(), host) {
+        Ok(resolved) => {
+            if let Some(requested) = resolved.clamped_from {
+                eprintln!(
+                    "warning: SYNCMECH_SERVICE_THREADS={requested} exceeds {MAX_THREAD_OVERSUB}x \
+                     the host parallelism of {host}; clamped to {} workers",
+                    resolved.threads
+                );
+            }
+            resolved.threads
+        }
         Err(msg) => panic!("{msg}"),
     }
 }
 
-/// The policy behind [`service_threads`], with the environment lookup
-/// factored out for testability: `None` means the variable is unset.
-pub fn service_threads_from(var: Option<&str>) -> Result<usize, String> {
+/// The policy behind [`service_threads`], with the environment lookup and
+/// host-parallelism probe factored out for testability: `None` means the
+/// variable is unset, `host` is the available parallelism.
+pub fn service_threads_from(var: Option<&str>, host: usize) -> Result<ServiceThreads, String> {
+    let host = host.max(1);
     let Some(raw) = var else {
-        return Ok(std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1));
+        return Ok(ServiceThreads {
+            threads: host,
+            clamped_from: None,
+        });
     };
     match raw.trim().parse::<usize>() {
         Ok(0) => Err(
@@ -131,7 +184,13 @@ pub fn service_threads_from(var: Option<&str>) -> Result<usize, String> {
              host's parallelism"
                 .to_string(),
         ),
-        Ok(n) => Ok(n),
+        Ok(n) => {
+            let cap = host.saturating_mul(MAX_THREAD_OVERSUB);
+            Ok(ServiceThreads {
+                threads: n.min(cap),
+                clamped_from: (n > cap).then_some(n),
+            })
+        }
         Err(_) => Err(format!(
             "SYNCMECH_SERVICE_THREADS={raw:?} is not a positive integer; set a thread \
              count like 4, or unset the variable to use the host's parallelism"
@@ -172,17 +231,48 @@ mod tests {
 
     #[test]
     fn threads_default_when_unset() {
-        assert!(service_threads_from(None).unwrap() >= 1);
+        let resolved = service_threads_from(None, 4).unwrap();
+        assert_eq!(resolved.threads, 4);
+        assert_eq!(resolved.clamped_from, None);
     }
 
     #[test]
     fn threads_accept_positive_values() {
-        assert_eq!(service_threads_from(Some("4")), Ok(4));
+        let resolved = service_threads_from(Some("4"), 8).unwrap();
+        assert_eq!(resolved.threads, 4);
+        assert_eq!(resolved.clamped_from, None);
+    }
+
+    #[test]
+    fn threads_accept_moderate_oversubscription() {
+        // Closed-loop workers block most of the time; up to the ceiling
+        // the request passes through untouched.
+        let resolved = service_threads_from(Some("32"), 4).unwrap();
+        assert_eq!(resolved.threads, 32);
+        assert_eq!(resolved.clamped_from, None);
+    }
+
+    /// Regression: a request far beyond the worker count used to pass
+    /// validation untouched (the knob's *intent* — that many schedulable
+    /// workers — was silently ignored). It now clamps to the
+    /// oversubscription ceiling and reports the original so callers warn.
+    #[test]
+    fn threads_clamp_absurd_oversubscription() {
+        let resolved = service_threads_from(Some("100000"), 4).unwrap();
+        assert_eq!(resolved.threads, 4 * MAX_THREAD_OVERSUB);
+        assert_eq!(resolved.clamped_from, Some(100_000));
+        // Exactly at the ceiling is still accepted unclamped.
+        let at_cap = service_threads_from(Some("32"), 4).unwrap();
+        assert_eq!(at_cap.clamped_from, None);
+        // A degenerate host probe of 0 behaves as a one-core host rather
+        // than clamping everything to zero.
+        let tiny = service_threads_from(Some("4"), 0).unwrap();
+        assert_eq!(tiny.threads, 4);
     }
 
     #[test]
     fn threads_reject_zero_loudly() {
-        let err = service_threads_from(Some("0")).unwrap_err();
+        let err = service_threads_from(Some("0"), 4).unwrap_err();
         assert!(err.contains("SYNCMECH_SERVICE_THREADS=0"), "{err}");
         assert!(err.contains("at least one worker thread"), "{err}");
     }
@@ -190,7 +280,7 @@ mod tests {
     #[test]
     fn threads_reject_garbage_loudly() {
         for raw in ["many", "-1", "2x"] {
-            let err = service_threads_from(Some(raw)).unwrap_err();
+            let err = service_threads_from(Some(raw), 4).unwrap_err();
             assert!(err.contains("is not a positive integer"), "{raw:?}: {err}");
         }
     }

@@ -33,10 +33,10 @@ use crate::{seq_ge, service_shards};
 use qsm::Backoff;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Mutex word states.
-const FREE: u64 = 0;
-const HELD: u64 = 1;
-const CONTENDED: u64 = 2;
+/// Mutex word states (shared with the async front end in `async_lock`).
+pub(crate) const FREE: u64 = 0;
+pub(crate) const HELD: u64 = 1;
+pub(crate) const CONTENDED: u64 = 2;
 
 /// The sharded per-key lock service. See the crate docs for the design.
 pub struct LockService {
@@ -70,6 +70,12 @@ impl LockService {
     /// The backing table, for occupancy checks.
     pub fn stats(&self) -> TableStats {
         self.table.stats()
+    }
+
+    /// The backing table itself — the async front end attaches its slots
+    /// here so sync and async callers share one waiter population per key.
+    pub(crate) fn table(&self) -> &ShardedTable {
+        &self.table
     }
 
     /// Acquires the mutex for `key`, blocking (spin-then-park) while a
@@ -195,7 +201,14 @@ pub struct KeyGuard<'a> {
     slot: SlotRef<'a>,
 }
 
-impl KeyGuard<'_> {
+impl<'a> KeyGuard<'a> {
+    /// Wraps a slot whose mutex word the caller has already driven to
+    /// HELD or CONTENDED — the async lock future's acquisition path.
+    pub(crate) fn from_acquired(slot: SlotRef<'a>) -> Self {
+        debug_assert!(slot.word().load(Ordering::SeqCst) != FREE);
+        KeyGuard { slot }
+    }
+
     /// The key this guard locks.
     pub fn key(&self) -> u64 {
         self.slot.key()
@@ -221,7 +234,12 @@ pub struct EventKey<'a> {
     slot: SlotRef<'a>,
 }
 
-impl EventKey<'_> {
+impl<'a> EventKey<'a> {
+    /// The slot behind this handle, for the async wait future.
+    pub(crate) fn slot(&self) -> &SlotRef<'a> {
+        &self.slot
+    }
+
     /// The current count.
     pub fn read(&self) -> u64 {
         self.slot.word().load(Ordering::SeqCst)

@@ -28,9 +28,35 @@
 //! the granted waiter forever. Waking the whole slot turns that lost
 //! wakeup into a spurious wake the sharer's re-check loop absorbs.
 
+//! ## Cancellation: the abandoned-ticket protocol
+//!
+//! The async front end ([`WaitingArraySemaphore::acquire_async`]) makes a
+//! waiter that can *disappear mid-wait* — its future is dropped. The
+//! waiter has already decremented `permits` and taken an enqueue ticket,
+//! so simply vanishing would strand one permit forever. The cancel path
+//! splits on whether the waiter's grant is already published:
+//!
+//! - **published** — the grant is ours and nobody else will ever consume
+//!   it (grants are addressed by ticket); hand it onward with a
+//!   [`WaitingArraySemaphore::release`].
+//! - **not published** — record the ticket in the *abandoned set*; when
+//!   the release stream reaches it, the releaser recycles the permit to
+//!   the next waiter instead of waking a ghost.
+//!
+//! The race between "canceller checks publication" and "releaser
+//! publishes" is closed by a mutex over the abandoned set: the releaser
+//! checks the set *after* publishing, the canceller re-checks publication
+//! *inside* the lock before inserting, so exactly one side recycles.
+
 use crate::seq_ge;
+use parking::futex::WaitEntry;
 use qsm::{Backoff, CachePadded};
+use std::collections::HashSet;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::task::{Context, Poll};
 
 /// The waiting-array semaphore. See the module docs for the protocol.
 pub struct WaitingArraySemaphore {
@@ -44,6 +70,10 @@ pub struct WaitingArraySemaphore {
     /// latest grant published for tickets congruent to `t`.
     slots: Box<[CachePadded<AtomicU64>]>,
     mask: u64,
+    /// Tickets whose waiters cancelled before their grant was published;
+    /// the releaser that publishes such a grant recycles the permit. Cold:
+    /// touched only on cancellation and (briefly) per grant.
+    abandoned: Mutex<HashSet<u64>>,
 }
 
 impl WaitingArraySemaphore {
@@ -85,6 +115,7 @@ impl WaitingArraySemaphore {
             deq: CachePadded::new(AtomicU64::new(origin)),
             slots,
             mask: w - 1,
+            abandoned: Mutex::new(HashSet::new()),
         }
     }
 
@@ -151,10 +182,16 @@ impl WaitingArraySemaphore {
 
     /// Releases `n` permits. Grants owed to waiters are all published
     /// first, then woken in one batched sweep; returns how many grants
-    /// went to waiters (the rest raised the permit count).
+    /// went to waiters (the rest raised the permit count). A grant whose
+    /// ticket was abandoned by a cancelled future is *recycled*: the loop
+    /// runs one extra round so the permit reaches the next real waiter
+    /// (or the permit count) instead of a ghost.
     pub fn release_n(&self, n: usize) -> usize {
         let mut addrs = Vec::new();
-        for _ in 0..n {
+        let mut granted = 0;
+        let mut remaining = n;
+        while remaining > 0 {
+            remaining -= 1;
             let prev = self.permits.fetch_add(1, Ordering::SeqCst);
             if prev >= 0 {
                 continue;
@@ -171,9 +208,17 @@ impl WaitingArraySemaphore {
                     Err(now) => cur = now,
                 }
             }
+            // Abandonment check strictly *after* publication: a canceller
+            // that saw the grant unpublished has inserted (or will insert
+            // under this same lock and then observe the publication) — see
+            // the module docs. Exactly one side recycles.
+            if self.abandoned.lock().unwrap().remove(&ticket) {
+                remaining += 1;
+                continue;
+            }
+            granted += 1;
             addrs.push(parking::futex::addr_of(slot));
         }
-        let granted = addrs.len();
         if !addrs.is_empty() {
             // Wakes every waiter parked on each granted slot. Waking only
             // one per grant would lose wakeups under slot sharing: the
@@ -185,6 +230,140 @@ impl WaitingArraySemaphore {
             parking::futex::futex_wake_batch(&addrs);
         }
         granted
+    }
+
+    /// Acquires one permit asynchronously. The returned future takes no
+    /// ticket (and decrements nothing) until first polled; dropping it
+    /// mid-wait restores the semaphore through the abandoned-ticket
+    /// protocol (see the module docs), so cancellation never leaks a
+    /// permit or strands a later waiter.
+    pub fn acquire_async(&self) -> AcquireFuture<'_> {
+        AcquireFuture {
+            sem: self,
+            state: AcquireState::Init,
+        }
+    }
+
+    /// The cancel half of the abandoned-ticket protocol: called when a
+    /// future that holds `ticket` is dropped before being admitted.
+    fn cancel_ticket(&self, ticket: u64) {
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        let target = ticket.wrapping_add(1);
+        if !seq_ge(slot.load(Ordering::SeqCst), target) {
+            let mut abandoned = self.abandoned.lock().unwrap();
+            // Re-check under the lock: the releaser publishes first and
+            // checks the set second, so if the grant is still unpublished
+            // here, our insert is guaranteed to be seen.
+            if !seq_ge(slot.load(Ordering::SeqCst), target) {
+                abandoned.insert(ticket);
+                return;
+            }
+        }
+        // Our grant was already published: it is addressed to this ticket
+        // and no other waiter can consume it, so hand the permit onward.
+        self.release();
+    }
+}
+
+/// Where an [`AcquireFuture`] is in the acquire protocol.
+enum AcquireState {
+    /// Not yet polled: no permit decremented, no ticket taken.
+    Init,
+    /// Holding `ticket`, waiting for its grant; `entry` is the parked
+    /// waker registration (None transiently between registrations).
+    Waiting {
+        ticket: u64,
+        entry: Option<WaitEntry>,
+    },
+    /// Admitted (or cancelled); polling again is a bug.
+    Done,
+}
+
+/// Future returned by [`WaitingArraySemaphore::acquire_async`]; resolves
+/// once a permit is held. Dropping it mid-wait cancels cleanly: the waker
+/// registration is withdrawn and the ticket restored (or its
+/// already-published grant handed to the next waiter).
+#[must_use = "futures do nothing unless polled"]
+pub struct AcquireFuture<'a> {
+    sem: &'a WaitingArraySemaphore,
+    state: AcquireState,
+}
+
+impl Future for AcquireFuture<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        loop {
+            match this.state {
+                AcquireState::Init => {
+                    let prev = this.sem.permits.fetch_sub(1, Ordering::SeqCst);
+                    if prev > 0 {
+                        this.state = AcquireState::Done;
+                        return Poll::Ready(());
+                    }
+                    let ticket = this.sem.enq.fetch_add(1, Ordering::SeqCst);
+                    this.state = AcquireState::Waiting {
+                        ticket,
+                        entry: None,
+                    };
+                }
+                AcquireState::Waiting {
+                    ticket,
+                    ref mut entry,
+                } => {
+                    if let Some(e) = entry.take() {
+                        if e.woken() {
+                            e.resume();
+                        } else {
+                            // Still parked: refresh the waker (it may have
+                            // changed since registration) and stay pending.
+                            e.update_waker(cx.waker());
+                            *entry = Some(e);
+                            return Poll::Pending;
+                        }
+                    }
+                    let slot = &this.sem.slots[(ticket & this.sem.mask) as usize];
+                    let target = ticket.wrapping_add(1);
+                    loop {
+                        let cur = slot.load(Ordering::SeqCst);
+                        if seq_ge(cur, target) {
+                            this.state = AcquireState::Done;
+                            return Poll::Ready(());
+                        }
+                        // Same registered-iff-unchanged discipline as the
+                        // blocking path's futex_wait: a grant that lands
+                        // first changes the slot and the registration
+                        // refuses, so the park cannot miss it.
+                        match parking::futex::futex_register(slot, cur, cx.waker()) {
+                            Some(e) => {
+                                *entry = Some(e);
+                                return Poll::Pending;
+                            }
+                            None => continue,
+                        }
+                    }
+                }
+                AcquireState::Done => panic!("AcquireFuture polled after completion"),
+            }
+        }
+    }
+}
+
+impl Drop for AcquireFuture<'_> {
+    fn drop(&mut self) {
+        if let AcquireState::Waiting { ticket, entry } =
+            std::mem::replace(&mut self.state, AcquireState::Done)
+        {
+            if let Some(e) = entry {
+                // Withdraw the parked waker. If a wake had already
+                // dequeued it, that wake was a slot-wide wake-all (every
+                // semaphore wake is), so no *other* waiter's wake was
+                // consumed — the grant hand-off below is all that's owed.
+                let _ = parking::futex::futex_cancel(e);
+            }
+            self.sem.cancel_ticket(ticket);
+        }
     }
 }
 
@@ -362,5 +541,118 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slot_array_rejected() {
         WaitingArraySemaphore::new(1, 0);
+    }
+
+    struct FlagWaker(std::sync::atomic::AtomicBool);
+
+    impl std::task::Wake for FlagWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn poll_once<F: Future + Unpin>(fut: &mut F) -> (Poll<F::Output>, Arc<FlagWaker>) {
+        let flag = Arc::new(FlagWaker(std::sync::atomic::AtomicBool::new(false)));
+        let waker = std::task::Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        (Pin::new(fut).poll(&mut cx), flag)
+    }
+
+    #[test]
+    fn acquire_async_fast_path_completes_on_first_poll() {
+        let sem = WaitingArraySemaphore::new(2, 2);
+        let mut fut = sem.acquire_async();
+        assert!(matches!(poll_once(&mut fut).0, Poll::Ready(())));
+        assert_eq!(sem.permits(), 1);
+        drop(fut); // completed future: drop must not restore anything
+        assert_eq!(sem.permits(), 1);
+        sem.release();
+        assert_eq!(sem.permits(), 2);
+    }
+
+    #[test]
+    fn unpolled_future_drop_has_no_effect() {
+        let sem = WaitingArraySemaphore::new(1, 2);
+        drop(sem.acquire_async());
+        assert_eq!(sem.permits(), 1);
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn cancelled_waiter_restores_its_ticket() {
+        let sem = WaitingArraySemaphore::new(1, 2);
+        sem.acquire();
+        let mut fut = sem.acquire_async();
+        assert!(matches!(poll_once(&mut fut).0, Poll::Pending));
+        assert_eq!(sem.permits(), -1);
+        drop(fut); // abandoned before any grant is published
+        // The release stream recycles the abandoned ticket: the permit
+        // lands back on the counter instead of waking a ghost.
+        assert_eq!(sem.release_n(1), 0);
+        assert_eq!(sem.permits(), 1);
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn cancelled_waiter_hands_published_grant_onward() {
+        let sem = WaitingArraySemaphore::new(0, 2);
+        let mut fut = sem.acquire_async();
+        let (polled, flag) = poll_once(&mut fut);
+        assert!(matches!(polled, Poll::Pending));
+        // Publish the grant: the future is woken but never re-polled.
+        assert_eq!(sem.release_n(1), 1);
+        assert!(flag.0.load(Ordering::SeqCst), "waker not invoked");
+        drop(fut);
+        // The already-published grant was handed onward as a fresh permit.
+        assert_eq!(sem.permits(), 1);
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn woken_future_admits_on_next_poll() {
+        let sem = WaitingArraySemaphore::new(0, 2);
+        let mut fut = sem.acquire_async();
+        assert!(matches!(poll_once(&mut fut).0, Poll::Pending));
+        sem.release();
+        assert!(matches!(poll_once(&mut fut).0, Poll::Ready(())));
+        assert_eq!(sem.permits(), 0);
+    }
+
+    /// Async and blocking acquirers interleave on the same ticket stream;
+    /// a mid-stream cancellation must not strand the blocking waiters.
+    #[test]
+    fn cancellation_between_blocking_waiters_strands_nobody() {
+        let sem = Arc::new(WaitingArraySemaphore::new(0, 2));
+        let through = Arc::new(AtomicUsize::new(0));
+        let t1 = {
+            let (sem, through) = (Arc::clone(&sem), Arc::clone(&through));
+            thread::spawn(move || {
+                sem.acquire();
+                through.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        while sem.permits() != -1 {
+            thread::yield_now();
+        }
+        let mut fut = sem.acquire_async();
+        assert!(matches!(poll_once(&mut fut).0, Poll::Pending));
+        let t2 = {
+            let (sem, through) = (Arc::clone(&sem), Arc::clone(&through));
+            thread::spawn(move || {
+                sem.acquire();
+                through.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        while sem.permits() != -3 {
+            thread::yield_now();
+        }
+        drop(fut); // the middle ticket is abandoned
+        // Two permits must admit both blocking waiters, recycling the
+        // abandoned middle ticket along the way.
+        sem.release_n(2);
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(through.load(Ordering::SeqCst), 2);
+        assert_eq!(sem.permits(), 0);
     }
 }

@@ -173,6 +173,13 @@ impl ShardedTable {
         (mix64(key) & self.mask) as usize
     }
 
+    /// The shard index `key` maps to. Exposed so multi-key acquirers can
+    /// impose the table's canonical lock order (shard index, then key) and
+    /// stay deadlock-free; see `AsyncLockService::lock_many`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.shard_index(key)
+    }
+
     /// Attaches to `key`'s slot, creating it if the key has no live slot,
     /// and returns a counted reference. The slot's word starts at 0 for a
     /// fresh or recycled slot and keeps its value across concurrent
@@ -304,6 +311,26 @@ impl SlotRef<'_> {
         self.table
             .lot
             .wake_addr(parking::futex::addr_of(self.word()), n)
+    }
+
+    /// Registers an async waker entry on this slot iff the word still
+    /// holds `expected`; see [`ParkingLot::register`]. The returned entry
+    /// does not pin the slot — the owning future keeps its `SlotRef` alive
+    /// for as long as the entry exists, which is the same "every parked
+    /// waiter holds a reference" rule threads follow.
+    pub fn register_waker(
+        &self,
+        expected: u64,
+        waker: &std::task::Waker,
+    ) -> Option<parking::futex::WaitEntry> {
+        self.table.lot.register(self.word(), expected, waker)
+    }
+
+    /// Withdraws a waker entry registered through
+    /// [`SlotRef::register_waker`]; see [`ParkingLot::cancel`] for the
+    /// grant-ownership contract of the return value.
+    pub fn cancel_waiter(&self, entry: parking::futex::WaitEntry) -> bool {
+        self.table.lot.cancel(entry)
     }
 }
 

@@ -1,4 +1,5 @@
-//! Loom checking of the waiting-array semaphore.
+//! Loom checking of the waiting-array semaphore and the async
+//! cancellation protocol.
 //!
 //! Run with:
 //!
@@ -18,14 +19,51 @@
 
 use loom::cell::UnsafeCell;
 use loom::thread;
-use service::WaitingArraySemaphore;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use service::{AsyncLockService, WaitingArraySemaphore};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 fn model<F: Fn() + Sync + Send + 'static>(f: F) {
     let mut builder = loom::model::Builder::new();
     builder.preemption_bound = Some(2);
     builder.check(f);
+}
+
+/// A waker that records the wake in a flag — the manual-polling harness
+/// the async models drive their futures with.
+struct FlagWaker(AtomicBool);
+
+impl std::task::Wake for FlagWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+fn flag_waker() -> (Waker, Arc<FlagWaker>) {
+    let flag = Arc::new(FlagWaker(AtomicBool::new(false)));
+    (Waker::from(Arc::clone(&flag)), flag)
+}
+
+/// Polls once with a fresh flag waker.
+fn poll_once<F: Future + Unpin>(fut: &mut F) -> Poll<F::Output> {
+    let (waker, _flag) = flag_waker();
+    Pin::new(fut).poll(&mut Context::from_waker(&waker))
+}
+
+/// Polls to completion, yielding between wakes.
+fn poll_to_completion<F: Future + Unpin>(mut fut: F) -> F::Output {
+    let (waker, flag) = flag_waker();
+    loop {
+        if let Poll::Ready(v) = Pin::new(&mut fut).poll(&mut Context::from_waker(&waker)) {
+            return v;
+        }
+        while !flag.0.swap(false, Ordering::SeqCst) {
+            thread::yield_now();
+        }
+    }
 }
 
 /// Release publishes before it wakes: a releaser writes a plain cell,
@@ -96,6 +134,126 @@ fn loom_semaphore_wakes_exactly_n() {
         }
         assert_eq!(admitted.load(Ordering::SeqCst), 2);
         assert_eq!(sem.permits(), 0);
+    });
+}
+
+/// Async race 1 — waker registered vs grant published. An async acquirer
+/// takes its ticket on the first poll and races its waker registration
+/// against a concurrent release publishing the grant: whichever order the
+/// slot sees them in, the future must be admitted (registration re-checks
+/// the slot word under the bucket lock; a publication that lands first
+/// makes `register` return `None` and the next poll observe the grant).
+#[test]
+fn loom_async_waker_registration_vs_publication() {
+    model(|| {
+        let sem = Arc::new(WaitingArraySemaphore::new(0, 2));
+        let acquirer = {
+            let sem = Arc::clone(&sem);
+            thread::spawn(move || {
+                poll_to_completion(sem.acquire_async());
+            })
+        };
+        let releaser = {
+            let sem = Arc::clone(&sem);
+            thread::spawn(move || {
+                sem.release();
+            })
+        };
+        releaser.join().unwrap();
+        acquirer.join().unwrap();
+        assert_eq!(sem.permits(), 0, "exactly the one permit was consumed");
+    });
+}
+
+/// Async race 2 — future dropped vs wake in flight. A parked LockFuture
+/// is dropped while the holder's release (and its wake) may be anywhere
+/// from not-started to already-delivered. If the cancel loses (the wake
+/// already dequeued the future's entry), the drop must pass the baton by
+/// re-waking the slot; either way a third party must still be able to
+/// take the lock and the table must drain.
+#[test]
+fn loom_async_drop_vs_wake_in_flight() {
+    model(|| {
+        let svc = Arc::new(AsyncLockService::with_shards(2));
+        const KEY: u64 = 7;
+        let holder = {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                let guard = poll_to_completion(svc.lock(KEY));
+                thread::yield_now();
+                drop(guard); // the racing wake
+            })
+        };
+        let dropper = {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                let mut fut = svc.lock(KEY);
+                match poll_once(&mut fut) {
+                    // Beat the holder (or arrived after its release):
+                    // got the lock; release it normally.
+                    Poll::Ready(guard) => drop(guard),
+                    // Parked (or spinning): drop mid-wait, racing the
+                    // holder's wake.
+                    Poll::Pending => drop(fut),
+                }
+            })
+        };
+        holder.join().unwrap();
+        dropper.join().unwrap();
+        // Nobody holds the key and no grant was stranded: a fresh locker
+        // must get through (a lost baton would hang this join).
+        let late = {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                drop(poll_to_completion(svc.lock(KEY)));
+            })
+        };
+        late.join().unwrap();
+        assert_eq!(svc.stats().live, 0, "slots leaked after the drop race");
+    });
+}
+
+/// Async race 3 — ticket restored vs release_n batch. Two async
+/// acquirers; one cancels after at most one poll while `release_n(2)` is
+/// publishing grants. The cancelled ticket is either abandoned before
+/// publication (the releaser recycles it mid-batch) or after (the
+/// canceller re-releases it); in both cases the surviving waiter is
+/// admitted and exactly one permit is left over.
+#[test]
+fn loom_async_cancel_vs_release_batch() {
+    model(|| {
+        let sem = Arc::new(WaitingArraySemaphore::new(0, 2));
+        let survivor = {
+            let sem = Arc::clone(&sem);
+            thread::spawn(move || {
+                poll_to_completion(sem.acquire_async());
+            })
+        };
+        let canceller = {
+            let sem = Arc::clone(&sem);
+            thread::spawn(move || {
+                let mut fut = sem.acquire_async();
+                let admitted = poll_once(&mut fut).is_ready();
+                drop(fut);
+                if admitted {
+                    // The fast path consumed a real permit; hand it back
+                    // like a guard would.
+                    sem.release();
+                }
+            })
+        };
+        let releaser = {
+            let sem = Arc::clone(&sem);
+            thread::spawn(move || {
+                sem.release_n(2);
+            })
+        };
+        releaser.join().unwrap();
+        canceller.join().unwrap();
+        survivor.join().unwrap();
+        // 2 released, 1 held by the survivor, the cancelled one recycled
+        // by whichever side won the race.
+        assert_eq!(sem.permits(), 1, "cancelled ticket was not restored");
     });
 }
 

@@ -1,0 +1,537 @@
+//! A minimal deterministic single-threaded executor with a **virtual
+//! clock** — the async driver's analogue of `sim_load`'s discrete-event
+//! core.
+//!
+//! The figures need async runs that are pure functions of their
+//! configuration, which rules out every wall-clock runtime. This executor
+//! gets there the same way the simulator does: time is a counter, every
+//! wake is timestamped, and all ties break on a global sequence number.
+//! Specifically:
+//!
+//! - Tasks are polled from a FIFO ready queue, one at a time, on the
+//!   calling thread.
+//! - [`Handle::sleep`]/[`Handle::sleep_until`] park a task until a
+//!   virtual deadline; expiry costs nothing (time simply passes).
+//! - A waker invoked from a *poll* (a lock release waking a parked
+//!   future, say) re-schedules the woken task [`WAKE_COST`] cycles later
+//!   — the futex-wake latency the blocking drivers price into their grant
+//!   costs. The cost is configurable per executor.
+//! - When nothing is ready, the clock jumps to the next scheduled event;
+//!   when nothing is scheduled and tasks remain, [`Executor::run`]
+//!   returns [`Outcome::Stalled`] with the survivors instead of spinning
+//!   — which is how the `lock_many` ordering tests *detect* a deadlock
+//!   deterministically. Dropping the executor drops the stalled futures,
+//!   exercising their cancellation paths.
+//!
+//! [`Handle::timeout`] wraps a future with a virtual deadline and **drops
+//! it** on expiry — in this codebase cancellation *is* drop, so a timeout
+//! is nothing more than a race against a [`Sleep`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Default cycles between a waker firing inside a poll and the woken task
+/// being re-polled: the executor's price for a futex wake, matching the
+/// QSM constant grant cost in `service_load::LockPolicy::grant_cost`.
+pub const WAKE_COST: u64 = 40;
+
+/// State shared between the executor, its wakers, and its timers.
+struct Shared {
+    /// The virtual clock, in cycles.
+    now: AtomicU64,
+    /// Global tie-break sequence for scheduled events of both kinds.
+    seq: AtomicU64,
+    /// Task ids whose wakers fired since the last drain.
+    woken: Mutex<Vec<usize>>,
+    /// Pending sleeps: min-heap on (deadline, seq).
+    timers: Mutex<BinaryHeap<Reverse<TimerEntry>>>,
+}
+
+impl Shared {
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// A scheduled sleep expiry. Ordered by (deadline, seq) only; the waker
+/// rides along.
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The per-task waker: records the task id for the executor to re-poll.
+/// Safe to invoke from any thread (blocking threads wake async tasks
+/// through the shared parking lot), though the deterministic figures
+/// never do.
+struct TaskWaker {
+    id: usize,
+    shared: Arc<Shared>,
+}
+
+impl std::task::Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.woken.lock().unwrap().push(self.id);
+    }
+}
+
+/// How an [`Executor::run`] ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every spawned task ran to completion.
+    Completed,
+    /// No task is ready and nothing is scheduled, but these tasks (by
+    /// spawn id) never finished — a deadlock or an abandoned wait.
+    Stalled {
+        /// Spawn ids of the unfinished tasks.
+        unfinished: Vec<usize>,
+    },
+}
+
+/// The executor. See the module docs for the discipline.
+pub struct Executor<'a> {
+    shared: Arc<Shared>,
+    tasks: Vec<Option<Pin<Box<dyn Future<Output = ()> + 'a>>>>,
+    ready: VecDeque<usize>,
+    /// Wake-cost re-polls: min-heap on (time, seq, task id).
+    resumes: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    wake_cost: u64,
+    unfinished: usize,
+}
+
+impl Default for Executor<'_> {
+    fn default() -> Self {
+        Self::new(WAKE_COST)
+    }
+}
+
+impl<'a> Executor<'a> {
+    /// An executor whose waker-wakes cost `wake_cost` virtual cycles.
+    pub fn new(wake_cost: u64) -> Self {
+        Executor {
+            shared: Arc::new(Shared {
+                now: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                woken: Mutex::new(Vec::new()),
+                timers: Mutex::new(BinaryHeap::new()),
+            }),
+            tasks: Vec::new(),
+            ready: VecDeque::new(),
+            resumes: BinaryHeap::new(),
+            wake_cost,
+            unfinished: 0,
+        }
+    }
+
+    /// A clock/timer handle, cloneable into tasks.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> u64 {
+        self.shared.now.load(Ordering::SeqCst)
+    }
+
+    /// Spawns a task; it is polled first at the current virtual time, in
+    /// spawn order. Returns the task's id (its index in stall reports).
+    pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'a) -> usize {
+        let id = self.tasks.len();
+        self.tasks.push(Some(Box::pin(fut)));
+        self.ready.push_back(id);
+        self.unfinished += 1;
+        id
+    }
+
+    /// Runs until every task completes ([`Outcome::Completed`]) or
+    /// nothing can make progress ([`Outcome::Stalled`]). Deterministic:
+    /// single-threaded polling, FIFO ready order, and all time ties
+    /// broken by one global sequence counter.
+    pub fn run(&mut self) -> Outcome {
+        loop {
+            // Price the wakes fired during the last poll: each woken task
+            // is re-polled wake_cost cycles from now.
+            let now = self.now();
+            for id in self.shared.woken.lock().unwrap().drain(..) {
+                self.resumes
+                    .push(Reverse((now + self.wake_cost, self.shared.next_seq(), id)));
+            }
+            if let Some(id) = self.ready.pop_front() {
+                self.poll_task(id);
+                continue;
+            }
+            // Idle: jump the clock to the next scheduled event and
+            // dispatch everything due, merging the two heaps in global
+            // (time, seq) order.
+            let next_resume = self.resumes.peek().map(|Reverse((t, s, _))| (*t, *s));
+            let next_timer = {
+                let timers = self.shared.timers.lock().unwrap();
+                timers.peek().map(|Reverse(e)| (e.at, e.seq))
+            };
+            let Some((t, _)) = [next_resume, next_timer]
+                .into_iter()
+                .flatten()
+                .min()
+            else {
+                return if self.unfinished == 0 {
+                    Outcome::Completed
+                } else {
+                    Outcome::Stalled {
+                        unfinished: (0..self.tasks.len())
+                            .filter(|&i| self.tasks[i].is_some())
+                            .collect(),
+                    }
+                };
+            };
+            debug_assert!(t >= now, "scheduled events never predate the clock");
+            self.shared.now.store(t, Ordering::SeqCst);
+            loop {
+                let due_resume = self
+                    .resumes
+                    .peek()
+                    .filter(|Reverse((at, ..))| *at <= t)
+                    .map(|Reverse((at, s, _))| (*at, *s));
+                let due_timer = {
+                    let timers = self.shared.timers.lock().unwrap();
+                    timers
+                        .peek()
+                        .filter(|Reverse(e)| e.at <= t)
+                        .map(|Reverse(e)| (e.at, e.seq))
+                };
+                let take_resume = match (due_resume, due_timer) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(r), Some(tm)) => r < tm,
+                };
+                if take_resume {
+                    let Reverse((_, _, id)) = self.resumes.pop().expect("peeked");
+                    self.ready.push_back(id);
+                } else {
+                    let entry = {
+                        let mut timers = self.shared.timers.lock().unwrap();
+                        timers.pop().expect("peeked").0
+                    };
+                    entry.waker.wake();
+                    // A timer expiry is time passing, not a futex wake:
+                    // the woken task is ready *now*, cost-free.
+                    for id in self.shared.woken.lock().unwrap().drain(..) {
+                        self.ready.push_back(id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn poll_task(&mut self, id: usize) {
+        let Some(fut) = self.tasks[id].as_mut() else {
+            // A stale duplicate wake of a completed task.
+            return;
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            shared: Arc::clone(&self.shared),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        if fut.as_mut().poll(&mut cx).is_ready() {
+            self.tasks[id] = None;
+            self.unfinished -= 1;
+        }
+    }
+}
+
+/// Clock and timer access for tasks; clone freely.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// The current virtual time.
+    pub fn now(&self) -> u64 {
+        self.shared.now.load(Ordering::SeqCst)
+    }
+
+    /// Resolves `cycles` of virtual time from now.
+    pub fn sleep(&self, cycles: u64) -> Sleep {
+        self.sleep_until(self.now() + cycles)
+    }
+
+    /// Resolves once the virtual clock reaches `at` (immediately if it
+    /// already has).
+    pub fn sleep_until(&self, at: u64) -> Sleep {
+        Sleep {
+            shared: Arc::clone(&self.shared),
+            at,
+            registered: false,
+        }
+    }
+
+    /// Races `fut` against a `cycles`-long sleep: `Some(output)` if the
+    /// future resolves first, else `None` with the future **dropped** —
+    /// which is exactly the service futures' cancellation path.
+    pub fn timeout<F: Future + Unpin>(&self, cycles: u64, fut: F) -> Timeout<F> {
+        Timeout {
+            sleep: self.sleep(cycles),
+            inner: Some(fut),
+        }
+    }
+}
+
+/// Future of [`Handle::sleep`]/[`Handle::sleep_until`].
+#[must_use = "futures do nothing unless polled"]
+pub struct Sleep {
+    shared: Arc<Shared>,
+    at: u64,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.shared.now.load(Ordering::SeqCst) >= this.at {
+            return Poll::Ready(());
+        }
+        if !this.registered {
+            // One registration suffices: the sleep belongs to one task,
+            // so later polls carry a waker for the same task.
+            let seq = this.shared.next_seq();
+            this.shared.timers.lock().unwrap().push(Reverse(TimerEntry {
+                at: this.at,
+                seq,
+                waker: cx.waker().clone(),
+            }));
+            this.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Future of [`Handle::timeout`]; resolves to `Some(output)` or, on
+/// expiry, drops the inner future and resolves to `None`.
+#[must_use = "futures do nothing unless polled"]
+pub struct Timeout<F: Future + Unpin> {
+    sleep: Sleep,
+    inner: Option<F>,
+}
+
+impl<F: Future + Unpin> Future for Timeout<F> {
+    type Output = Option<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let inner = this.inner.as_mut().expect("Timeout polled after completion");
+        if let Poll::Ready(v) = Pin::new(inner).poll(cx) {
+            this.inner = None;
+            return Poll::Ready(Some(v));
+        }
+        if Pin::new(&mut this.sleep).poll(cx).is_ready() {
+            // Expired: cancellation is drop.
+            this.inner = None;
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn tasks_run_in_spawn_order_at_time_zero() {
+        let order = RefCell::new(Vec::new());
+        let mut ex = Executor::new(WAKE_COST);
+        for i in 0..3 {
+            let order = &order;
+            ex.spawn(async move {
+                order.borrow_mut().push(i);
+            });
+        }
+        assert_eq!(ex.run(), Outcome::Completed);
+        assert_eq!(ex.now(), 0);
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sleeps_advance_the_clock_in_deadline_order() {
+        let log = RefCell::new(Vec::new());
+        let mut ex = Executor::new(WAKE_COST);
+        let h = ex.handle();
+        for (i, delay) in [30u64, 10, 20].into_iter().enumerate() {
+            let (h, log) = (h.clone(), &log);
+            ex.spawn(async move {
+                h.sleep(delay).await;
+                log.borrow_mut().push((h.now(), i));
+            });
+        }
+        assert_eq!(ex.run(), Outcome::Completed);
+        assert_eq!(ex.now(), 30);
+        assert_eq!(*log.borrow(), vec![(10, 1), (20, 2), (30, 0)]);
+    }
+
+    #[test]
+    fn waker_wakes_are_priced_at_wake_cost() {
+        let svc = service::AsyncLockService::with_shards(1);
+        let granted_at = RefCell::new(0u64);
+        let mut ex = Executor::new(7);
+        let h = ex.handle();
+        {
+            let (h, svc) = (h.clone(), &svc);
+            ex.spawn(async move {
+                let _g = svc.lock(1).await;
+                h.sleep(100).await;
+            });
+        }
+        {
+            let (h, svc, granted_at) = (h.clone(), &svc, &granted_at);
+            ex.spawn(async move {
+                let _g = svc.lock(1).await;
+                *granted_at.borrow_mut() = h.now();
+            });
+        }
+        assert_eq!(ex.run(), Outcome::Completed);
+        // Task 0 releases at t=100; the wake costs 7 cycles.
+        assert_eq!(*granted_at.borrow(), 107);
+        drop(ex);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn timeout_expires_and_drops_the_inner_future() {
+        let svc = service::AsyncLockService::with_shards(1);
+        let outcome = RefCell::new(None);
+        let mut ex = Executor::new(WAKE_COST);
+        let h = ex.handle();
+        {
+            let (h, svc) = (h.clone(), &svc);
+            ex.spawn(async move {
+                let _g = svc.lock(1).await;
+                h.sleep(1000).await;
+            });
+        }
+        {
+            let (h, svc, outcome) = (h.clone(), &svc, &outcome);
+            ex.spawn(async move {
+                // Times out long before the holder releases; the inner
+                // LockFuture is dropped mid-wait (the cancellation path).
+                let r = h.timeout(50, svc.lock(1)).await;
+                *outcome.borrow_mut() = Some(r.is_some());
+            });
+        }
+        assert_eq!(ex.run(), Outcome::Completed);
+        assert_eq!(*outcome.borrow(), Some(false));
+        drop(ex);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn timeout_completion_beats_the_clock() {
+        let svc = service::AsyncLockService::with_shards(1);
+        let outcome = RefCell::new(None);
+        let mut ex = Executor::new(WAKE_COST);
+        let h = ex.handle();
+        {
+            let (h, svc, outcome) = (h.clone(), &svc, &outcome);
+            ex.spawn(async move {
+                let r = h.timeout(50, svc.lock(1)).await;
+                *outcome.borrow_mut() = Some(r.is_some());
+            });
+        }
+        assert_eq!(ex.run(), Outcome::Completed);
+        assert_eq!(*outcome.borrow(), Some(true));
+        drop(ex);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn deadlock_is_reported_as_a_stall_not_a_hang() {
+        let svc = service::AsyncLockService::with_shards(4);
+        let mut ex = Executor::new(WAKE_COST);
+        let h = ex.handle();
+        // The classic reversed-order deadlock, staged with sleeps so each
+        // task holds its first key before wanting the second.
+        {
+            let (h, svc) = (h.clone(), &svc);
+            ex.spawn(async move {
+                let _a = svc.lock(1).await;
+                h.sleep(10).await;
+                let _b = svc.lock(2).await;
+            });
+        }
+        {
+            let (h, svc) = (h.clone(), &svc);
+            ex.spawn(async move {
+                let _b = svc.lock(2).await;
+                h.sleep(10).await;
+                let _a = svc.lock(1).await;
+            });
+        }
+        ex.spawn(async {});
+        assert_eq!(
+            ex.run(),
+            Outcome::Stalled {
+                unfinished: vec![0, 1]
+            }
+        );
+        // Dropping the executor drops the deadlocked futures, releasing
+        // everything through their cancellation paths.
+        drop(ex);
+        assert_eq!(svc.stats().live, 0);
+    }
+
+    #[test]
+    fn executor_runs_are_deterministic() {
+        let run = || {
+            let svc = service::AsyncLockService::with_shards(8);
+            let log = RefCell::new(Vec::new());
+            let mut ex = Executor::new(WAKE_COST);
+            let h = ex.handle();
+            for i in 0..8u64 {
+                let (h, svc, log) = (h.clone(), &svc, &log);
+                ex.spawn(async move {
+                    h.sleep(i % 3).await;
+                    let _g = svc.lock(i % 2).await;
+                    h.sleep(5).await;
+                    log.borrow_mut().push((i, h.now()));
+                });
+            }
+            assert_eq!(ex.run(), Outcome::Completed);
+            let t = ex.now();
+            drop(ex);
+            (t, log.into_inner())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -24,11 +24,18 @@
 //! * [`service_load`] — the sharded lock-service load generator behind
 //!   fig11 and table6: a deterministic discrete-event queueing model of
 //!   per-key lock policies (the figure input) plus a real-thread driver
-//!   over `service::LockService` (the CI smoke/stress engine).
+//!   over `service::LockService` (the CI smoke/stress engine), and the
+//!   async driver behind fig12 running the same request schedule through
+//!   `service::AsyncLockService` futures.
+//! * [`executor`] — the deterministic single-threaded virtual-clock
+//!   executor the async driver (and the `lock_many` ordering tests) run
+//!   on: FIFO polling, priced futex wakes, and deadlocks reported as
+//!   stalls instead of hangs.
 
 pub mod barrierbench;
 pub mod csbench;
 pub mod differential;
+pub mod executor;
 pub mod fairness;
 pub mod oversub;
 pub mod realhw;

@@ -19,12 +19,22 @@
 //!   wall-clock wait/hold nanoseconds into the same `trace` histograms.
 //!   This is the CI smoke driver and the stress harness's engine; it is
 //!   deliberately *not* a figure input.
+//! * [`async_load`] — the **identical request schedule** (same generator
+//!   streams) driven through the real
+//!   [`service::AsyncLockService`] futures on the deterministic
+//!   virtual-clock executor ([`crate::executor`]). Unlike `run_real`,
+//!   this *is* a figure input (fig12): one task per request, a
+//!   [`service::WaitingArraySemaphore`] as the worker pool, and every
+//!   futex wake priced at the executor's wake cost — so the async path
+//!   is compared against [`sim_load`]'s QSM policy on equal footing.
 //!
-//! Wait in both drivers is arrival-to-grant (it includes waiting for a
+//! Wait in all drivers is arrival-to-grant (it includes waiting for a
 //! worker and waiting for the key), hold is grant-to-release — the same
 //! decomposition the `waitdist` module uses for fig10.
 
+use crate::executor::{Executor, Outcome};
 use crate::sweeps::{parallel_cells, sweep_threads};
+use std::cell::RefCell;
 use simcore::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -367,6 +377,104 @@ pub fn service_sweep(threads: &[usize], requests: usize) -> Vec<ServiceLoadResul
     })
 }
 
+/// Outcome of an [`async_load`] run — the async column of fig12.
+#[derive(Debug, Clone)]
+pub struct AsyncServiceResult {
+    /// Worker pool size (semaphore permits).
+    pub threads: usize,
+    /// Requests completed (always `requests`).
+    pub completed: u64,
+    /// Virtual time of the last completion.
+    pub makespan: u64,
+    /// Arrival-to-grant times, cycles.
+    pub wait: Histogram,
+    /// Grant-to-release times, cycles.
+    pub hold: Histogram,
+}
+
+impl AsyncServiceResult {
+    /// Completed requests per thousand virtual cycles.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 * 1000.0 / self.makespan.max(1) as f64
+    }
+
+    /// Wait-time quantile `q` in `[0, 1]`, cycles.
+    pub fn wait_q(&self, q: f64) -> u64 {
+        self.wait.quantile(q)
+    }
+}
+
+/// Drives the async lock service with the *same* request schedule as
+/// [`sim_load`] on the deterministic virtual-clock executor: one task per
+/// request sleeps until its arrival, acquires a worker permit from a
+/// [`service::WaitingArraySemaphore`], locks its key through a real
+/// [`service::LockFuture`], holds for the scripted time, then releases
+/// both. `wake_cost` is what the executor charges between a futex wake
+/// firing and the woken task's re-poll — pass the QSM handoff cost (40)
+/// to compare against [`sim_load`]'s QSM policy on equal footing.
+///
+/// Deterministic despite running real parking-lot code: the executor is
+/// single-threaded with a virtual clock, every wake targets a single
+/// address whose waiters resume in FIFO order, and batch wakes fire in
+/// publication order — no heap address or ASLR artifact can reorder
+/// anything observable.
+pub fn async_load(cfg: &ServiceLoadConfig, wake_cost: u64) -> AsyncServiceResult {
+    assert!(cfg.threads > 0, "the service load needs at least one worker");
+    let reqs = generate_requests(cfg);
+    let svc = service::AsyncLockService::with_shards(256);
+    let pool = service::WaitingArraySemaphore::new(
+        cfg.threads,
+        cfg.threads.next_power_of_two().max(2),
+    );
+    struct Tally {
+        wait: Histogram,
+        hold: Histogram,
+        completed: u64,
+        makespan: u64,
+    }
+    let tally = RefCell::new(Tally {
+        wait: Histogram::new(),
+        hold: Histogram::new(),
+        completed: 0,
+        makespan: 0,
+    });
+    let mut ex = Executor::new(wake_cost);
+    let h = ex.handle();
+    for req in &reqs {
+        let (h, svc, pool, tally) = (h.clone(), &svc, &pool, &tally);
+        ex.spawn(async move {
+            h.sleep_until(req.arrival).await;
+            pool.acquire_async().await;
+            // Spread ranks across the key space so shard load reflects
+            // the hash, not rank adjacency — same as the real driver.
+            let guard = svc.lock(parking::futex::mix64(req.key)).await;
+            let granted = h.now();
+            tally.borrow_mut().wait.record(granted - req.arrival);
+            h.sleep(req.hold).await;
+            {
+                let mut t = tally.borrow_mut();
+                t.hold.record(req.hold);
+                t.completed += 1;
+                t.makespan = t.makespan.max(h.now());
+            }
+            drop(guard);
+            pool.release();
+        });
+    }
+    let outcome = ex.run();
+    assert_eq!(outcome, Outcome::Completed, "async load never deadlocks");
+    drop(ex);
+    debug_assert_eq!(svc.stats().live, 0, "all keys retired at drain");
+    let t = tally.into_inner();
+    AsyncServiceResult {
+        threads: cfg.threads,
+        completed: t.completed,
+        makespan: t.makespan,
+        wait: t.wait,
+        hold: t.hold,
+    }
+}
+
 /// Configuration for the real-thread driver.
 #[derive(Debug, Clone)]
 pub struct RealServiceConfig {
@@ -526,6 +634,36 @@ mod tests {
             assert_eq!(r.wait.count(), 500);
             assert_eq!(r.hold.count(), 500);
         }
+    }
+
+    #[test]
+    fn async_load_is_deterministic_and_completes() {
+        let cfg = ServiceLoadConfig::new(8, 500);
+        let a = async_load(&cfg, 40);
+        let b = async_load(&cfg, 40);
+        assert_eq!(a.completed, 500);
+        assert_eq!(a.wait.count(), 500);
+        assert_eq!(a.hold.count(), 500);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.wait_q(0.999), b.wait_q(0.999));
+        assert_eq!(a.wait_q(0.5), b.wait_q(0.5));
+    }
+
+    #[test]
+    fn async_load_tracks_the_qsm_model() {
+        // Same schedule, same constant-cost FIFO handoff: the async run
+        // and the QSM simulation should land in the same ballpark, not
+        // orders of magnitude apart.
+        let cfg = ServiceLoadConfig::new(16, 2_000);
+        let sim = sim_load(LockPolicy::Qsm, &cfg);
+        let real = async_load(&cfg, 40);
+        let ratio = real.makespan as f64 / sim.makespan.max(1) as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "async makespan {} vs qsm sim {} (ratio {ratio:.2})",
+            real.makespan,
+            sim.makespan
+        );
     }
 
     #[test]
