@@ -13,6 +13,11 @@
 //! replay) — and the two outputs are compared byte for byte before the
 //! speedup is reported. A mismatch is a determinism bug and fails the run.
 //!
+//! Schema v3 adds the resolved `service_metrics` mode to the report
+//! header: the table7 rows prove telemetry never perturbs the virtual
+//! schedule, but a perf report should still say what mode the service
+//! figures ran under.
+//!
 //! ```text
 //! cargo run -p bench --release --bin bench_sim [-- --quick|--full] [--out PATH]
 //! ```
@@ -145,6 +150,19 @@ fn main() {
         .unwrap_or(1);
     let threads = workloads::sweeps::sweep_threads();
     let replay_workers = memsim::replay::replay_workers_env();
+    // Resolve (and strictly validate) the telemetry knob up front: a bad
+    // SYNCMECH_SERVICE_METRICS must abort before an hour of rendering,
+    // not when the first service figure constructs a table.
+    let service_metrics = {
+        let var = std::env::var("SYNCMECH_SERVICE_METRICS").ok();
+        match service::service_metrics_from(var.as_deref()) {
+            Ok(mode) => mode.label(),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    };
 
     // Fragment length: CLI flag, then the environment knob (validated
     // strictly — a bad value must abort, not silently disable replay),
@@ -245,9 +263,10 @@ fn main() {
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
 
     let json = format!(
-        "{{\n  \"schema\": \"syncmech-bench-sim/v2\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"syncmech-bench-sim/v3\",\n  \"mode\": \"{mode}\",\n  \
          \"host_cores\": {host_cores},\n  \"sweep_threads\": {threads},\n  \
          \"replay_workers\": {replay_workers},\n  \"fragment_cycles\": {fragment},\n  \
+         \"service_metrics\": \"{service_metrics}\",\n  \
          \"figures\": [\n{figure_entries}\n  ],\n  \
          \"deterministic_serial_wall_ms\": {serial_ms:.1},\n  \
          \"deterministic_fragment_wall_ms\": {fragment_ms:.1},\n  \

@@ -1,0 +1,3 @@
+fn main() {
+    bench::figures::run_main("table7");
+}

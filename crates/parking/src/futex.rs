@@ -47,7 +47,12 @@
 //! preserves the invariant by construction: withdrawing a still-queued
 //! entry self-accounts its wake and resume, and a cancel that lost the
 //! race to a real wake accounts only the resume (the wake was already
-//! counted by the waker).
+//! counted by the waker). Each lot additionally keeps its own *exact*
+//! ledger ([`ParkingLot::totals`]) — process-global totals are a union
+//! over every lot and test in the process, so only the per-lot view
+//! supports equality assertions — and timestamps every park so the
+//! service telemetry's stall watchdog can ask for the longest-parked
+//! waiter ([`ParkingLot::oldest_parked_age`]).
 
 use qsm::CachePadded;
 use std::collections::VecDeque;
@@ -55,6 +60,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::task::Waker;
 use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
 
 /// Number of buckets in the process-global parking lot. Collisions are
 /// correctness-neutral (the queue entries carry the full address) and only
@@ -119,6 +125,44 @@ pub fn totals() -> FutexTotals {
     }
 }
 
+/// Per-lot park/wake/resume counters. Each [`Waiter`] captures an `Arc` to
+/// its lot's block at enqueue time, so the wake and resume sides — which
+/// only hold the waiter, not the lot — can still account against the lot
+/// that parked them. The machine-wide statics above remain the union of
+/// every lot; these give each lot an *exact* local ledger, which is what
+/// lets tests assert `parks == wakes == resumes` without `>=` slack from
+/// unrelated lots in the same process.
+#[derive(Default)]
+struct LotCounters {
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    resumes: AtomicU64,
+}
+
+impl LotCounters {
+    fn read(&self) -> FutexTotals {
+        FutexTotals {
+            parks: self.parks.load(Ordering::SeqCst),
+            wakes: self.wakes.load(Ordering::SeqCst),
+            resumes: self.resumes.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A snapshot of one currently parked waiter, for watchdog dumps: the word
+/// it is parked on, how long it has been parked, and whether it is a
+/// blocking thread or an async waker entry. Racy by nature — the waiter
+/// may resume the instant after the scan.
+#[derive(Debug, Clone, Copy)]
+pub struct ParkedWaiter {
+    /// Address of the futex word the waiter is parked on.
+    pub addr: usize,
+    /// Time since the waiter enqueued (its park began).
+    pub age: Duration,
+    /// True for an async waker entry, false for a blocking thread.
+    pub is_task: bool,
+}
+
 /// How a dequeued waiter is resumed: a blocking thread is `unpark`ed, an
 /// async task's registered [`Waker`] is invoked so its executor re-polls
 /// the future. Both kinds share the same bucket queues — a single futex
@@ -132,13 +176,18 @@ enum WaitMode {
     Task(Mutex<Option<Waker>>),
 }
 
-/// One parked waiter: the word it parked on, how to wake it, and the flag
+/// One parked waiter: the word it parked on, how to wake it, the flag
 /// that distinguishes a real wake from a spurious `park` return (or, for
-/// tasks, from a poll that raced the wake).
+/// tasks, from a poll that raced the wake), when it parked (feeds the
+/// stall watchdog's oldest-parked-age scan), and the counter block of the
+/// lot that parked it (so wake/resume accounting stays lot-local even
+/// when only the waiter is in hand).
 struct Waiter {
     addr: usize,
     how: WaitMode,
     woken: AtomicBool,
+    since: Instant,
+    counters: Arc<LotCounters>,
 }
 
 struct Bucket {
@@ -161,6 +210,7 @@ impl Bucket {
 pub struct ParkingLot {
     buckets: Box<[CachePadded<Bucket>]>,
     mask: u64,
+    counters: Arc<LotCounters>,
 }
 
 impl ParkingLot {
@@ -176,12 +226,58 @@ impl ParkingLot {
         ParkingLot {
             buckets: (0..n).map(|_| CachePadded::new(Bucket::new())).collect(),
             mask: n as u64 - 1,
+            counters: Arc::new(LotCounters::default()),
         }
     }
 
     /// Number of buckets (always a power of two).
     pub fn buckets(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// This lot's own park/wake/resume ledger — exact and local, unlike
+    /// the machine-wide [`totals`] which sums every lot in the process.
+    /// Pair with [`FutexTotals::since`] for delta accounting around a
+    /// test phase, and [`FutexTotals::balanced`] at quiescent points.
+    pub fn totals(&self) -> FutexTotals {
+        self.counters.read()
+    }
+
+    /// Age of the longest-parked waiter currently in the lot, or `None`
+    /// when nothing is parked. The stall watchdog's primary signal: a
+    /// waiter whose age keeps growing past the threshold is stuck, because
+    /// every legitimate park is bounded by its waker's progress. Scans
+    /// every bucket under its lock; cost is proportional to parked
+    /// waiters, so call it at watchdog cadence, not per operation.
+    pub fn oldest_parked_age(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut oldest: Option<Duration> = None;
+        for bucket in self.buckets.iter() {
+            let queue = bucket.queue.lock().unwrap();
+            for waiter in queue.iter() {
+                let age = now.duration_since(waiter.since);
+                oldest = Some(oldest.map_or(age, |o| o.max(age)));
+            }
+        }
+        oldest
+    }
+
+    /// Snapshot of every currently parked waiter (address, age, kind) for
+    /// watchdog dumps. Racy by nature; see [`ParkedWaiter`].
+    pub fn parked_waiters(&self) -> Vec<ParkedWaiter> {
+        let now = Instant::now();
+        let mut out = Vec::new();
+        for bucket in self.buckets.iter() {
+            let queue = bucket.queue.lock().unwrap();
+            for waiter in queue.iter() {
+                out.push(ParkedWaiter {
+                    addr: waiter.addr,
+                    age: now.duration_since(waiter.since),
+                    is_task: matches!(waiter.how, WaitMode::Task(_)),
+                });
+            }
+        }
+        out
     }
 
     fn bucket_for(&self, addr: usize) -> &Bucket {
@@ -212,16 +308,20 @@ impl ParkingLot {
                 addr,
                 how: WaitMode::Thread(thread::current()),
                 woken: AtomicBool::new(false),
+                since: Instant::now(),
+                counters: Arc::clone(&self.counters),
             });
             queue.push_back(Arc::clone(&waiter));
             waiter
         };
         TOTAL_PARKS.fetch_add(1, Ordering::SeqCst);
+        self.counters.parks.fetch_add(1, Ordering::SeqCst);
         crate::trace_hooks::record(trace::EventKind::FutexPark { addr });
         while !waiter.woken.load(Ordering::Acquire) {
             thread::park();
         }
         TOTAL_RESUMES.fetch_add(1, Ordering::SeqCst);
+        self.counters.resumes.fetch_add(1, Ordering::SeqCst);
         crate::trace_hooks::record(trace::EventKind::FutexResume {
             addr,
             waker: trace::NO_PID,
@@ -311,6 +411,7 @@ impl ParkingLot {
     fn unpark_all(&self, woken: &[Arc<Waiter>]) {
         for waiter in woken {
             TOTAL_WAKES.fetch_add(1, Ordering::SeqCst);
+            waiter.counters.wakes.fetch_add(1, Ordering::SeqCst);
             crate::trace_hooks::record(trace::EventKind::FutexWake {
                 addr: waiter.addr,
                 wakee: trace::NO_PID,
@@ -354,11 +455,14 @@ impl ParkingLot {
                 addr,
                 how: WaitMode::Task(Mutex::new(Some(waker.clone()))),
                 woken: AtomicBool::new(false),
+                since: Instant::now(),
+                counters: Arc::clone(&self.counters),
             });
             queue.push_back(Arc::clone(&waiter));
             waiter
         };
         TOTAL_PARKS.fetch_add(1, Ordering::SeqCst);
+        self.counters.parks.fetch_add(1, Ordering::SeqCst);
         crate::trace_hooks::record(trace::EventKind::FutexPark { addr });
         Some(WaitEntry { waiter })
     }
@@ -381,12 +485,14 @@ impl ParkingLot {
         };
         if removed {
             TOTAL_WAKES.fetch_add(1, Ordering::SeqCst);
+            entry.waiter.counters.wakes.fetch_add(1, Ordering::SeqCst);
             crate::trace_hooks::record(trace::EventKind::FutexWake {
                 addr,
                 wakee: trace::NO_PID,
             });
         }
         TOTAL_RESUMES.fetch_add(1, Ordering::SeqCst);
+        entry.waiter.counters.resumes.fetch_add(1, Ordering::SeqCst);
         crate::trace_hooks::record(trace::EventKind::FutexResume {
             addr,
             waker: trace::NO_PID,
@@ -449,6 +555,7 @@ impl WaitEntry {
     pub fn resume(self) {
         debug_assert!(self.woken(), "resume() before the entry was woken");
         TOTAL_RESUMES.fetch_add(1, Ordering::SeqCst);
+        self.waiter.counters.resumes.fetch_add(1, Ordering::SeqCst);
         crate::trace_hooks::record(trace::EventKind::FutexResume {
             addr: self.waiter.addr,
             waker: trace::NO_PID,
@@ -712,20 +819,30 @@ mod tests {
 
     #[test]
     fn register_wake_resume_round_trip_fires_waker() {
+        // A private lot gives an exact ledger: no other test in this
+        // process can skew it, so the balance assertions are equalities.
+        let lot = ParkingLot::with_buckets(1);
         let word = AtomicU64::new(0);
         let (flag, waker) = flag_waker();
-        let before = totals();
-        let entry = futex_register(&word, 0, &waker).expect("word unchanged");
+        let before = lot.totals();
+        let entry = lot.register(&word, 0, &waker).expect("word unchanged");
         assert!(!entry.woken());
         assert!(!flag.0.load(Ordering::SeqCst));
         word.store(1, Ordering::SeqCst);
-        assert_eq!(futex_wake(&word, 1), 1);
+        assert_eq!(lot.wake_addr(addr_of(&word), 1), 1);
         assert!(entry.woken());
         assert!(flag.0.load(Ordering::SeqCst), "waker not invoked");
         entry.resume();
-        let delta = totals().since(&before);
-        assert!(delta.parks >= 1 && delta.balanced() || delta.parks > delta.resumes,
-            "concurrent tests may skew, but our own park/wake/resume landed: {delta:?}");
+        let delta = lot.totals().since(&before);
+        assert_eq!(
+            delta,
+            FutexTotals {
+                parks: 1,
+                wakes: 1,
+                resumes: 1
+            }
+        );
+        assert!(delta.balanced());
     }
 
     #[test]
@@ -826,7 +943,7 @@ mod tests {
                 thread::yield_now();
             }
         }
-        let before = totals();
+        let before = lot.totals();
         for w in &words {
             w.store(1, Ordering::SeqCst);
         }
@@ -837,11 +954,92 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        // The exact count is the lot-local return value above; the global
-        // totals also include whatever other tests in this process parked
-        // and woke concurrently, so only lower-bound them.
-        let delta = totals().since(&before);
-        assert!(delta.wakes >= 4, "{delta:?}");
-        assert!(delta.resumes >= 4, "{delta:?}");
+        // The lot-local ledger is exact: nothing else in this process
+        // parks through this private lot, so the four wakes and resumes
+        // are equalities, not lower bounds. (The parks predate `before`,
+        // so the delta carries only the wake phase; the absolute totals
+        // balance at quiesce.)
+        let delta = lot.totals().since(&before);
+        assert_eq!(delta.wakes, 4, "{delta:?}");
+        assert_eq!(delta.resumes, 4, "{delta:?}");
+        assert_eq!(
+            lot.totals(),
+            FutexTotals {
+                parks: 4,
+                wakes: 4,
+                resumes: 4
+            }
+        );
+        assert!(lot.totals().balanced());
+    }
+
+    /// Per-lot ledgers are independent: traffic on one lot leaves another
+    /// lot's counters untouched, while the machine-wide totals see both.
+    #[test]
+    fn lot_totals_are_local_and_exact() {
+        let busy = Arc::new(ParkingLot::with_buckets(2));
+        let idle = ParkingLot::with_buckets(2);
+        let word = Arc::new(AtomicU64::new(0));
+        let global_before = totals();
+        let handle = {
+            let (busy, word) = (Arc::clone(&busy), Arc::clone(&word));
+            thread::spawn(move || {
+                while word.load(Ordering::SeqCst) == 0 {
+                    busy.wait(&word, 0);
+                }
+            })
+        };
+        while busy.parked_count(&word) == 0 {
+            thread::yield_now();
+        }
+        word.store(1, Ordering::SeqCst);
+        assert_eq!(busy.wake_addr(addr_of(&word), 1), 1);
+        handle.join().unwrap();
+        let delta = busy.totals();
+        assert_eq!(
+            delta,
+            FutexTotals {
+                parks: 1,
+                wakes: 1,
+                resumes: 1
+            }
+        );
+        assert_eq!(idle.totals(), FutexTotals::default());
+        // The machine-wide statics absorbed this lot's traffic too (other
+        // tests may add more concurrently, so lower-bound the global side).
+        let global = totals().since(&global_before);
+        assert!(global.parks >= 1 && global.wakes >= 1 && global.resumes >= 1);
+    }
+
+    /// `oldest_parked_age` reports the longest-parked waiter while one is
+    /// parked, and `None` once the lot drains.
+    #[test]
+    fn oldest_parked_age_tracks_park_lifetime() {
+        let lot = Arc::new(ParkingLot::with_buckets(1));
+        assert!(lot.oldest_parked_age().is_none());
+        let word = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let (lot, word) = (Arc::clone(&lot), Arc::clone(&word));
+            thread::spawn(move || {
+                while word.load(Ordering::SeqCst) == 0 {
+                    lot.wait(&word, 0);
+                }
+            })
+        };
+        while lot.parked_count(&word) == 0 {
+            thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(5));
+        let age = lot.oldest_parked_age().expect("one waiter is parked");
+        assert!(age >= Duration::from_millis(5), "{age:?}");
+        let parked = lot.parked_waiters();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].addr, addr_of(&word));
+        assert!(!parked[0].is_task);
+        word.store(1, Ordering::SeqCst);
+        lot.wake_addr(addr_of(&word), 1);
+        handle.join().unwrap();
+        assert!(lot.oldest_parked_age().is_none());
+        assert!(lot.totals().balanced());
     }
 }

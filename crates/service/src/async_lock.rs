@@ -49,6 +49,7 @@
 
 use crate::lock::{CONTENDED, FREE, HELD};
 use crate::table::{SlotKind, SlotRef, TableStats};
+use crate::telemetry::{MetricsMode, MetricsSnapshot, Primitive, ServiceMetrics};
 use crate::{EventKey, KeyGuard, LockService};
 use parking::futex::WaitEntry;
 use std::future::Future;
@@ -56,6 +57,7 @@ use std::pin::Pin;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
+use std::time::Instant;
 
 /// The async lock service: a thin view over a [`LockService`] whose
 /// futures and blocking calls share one table, one parking lot, and one
@@ -86,6 +88,12 @@ impl AsyncLockService {
         Self::from_sync(LockService::with_shards(shards))
     }
 
+    /// [`AsyncLockService::with_shards`] with an explicit telemetry mode;
+    /// see [`LockService::with_metrics_mode`].
+    pub fn with_metrics_mode(shards: usize, mode: MetricsMode) -> Self {
+        Self::from_sync(LockService::with_metrics_mode(shards, mode))
+    }
+
     /// Wraps an existing blocking service; sync and async callers then
     /// share every key.
     pub fn from_sync(sync: LockService) -> Self {
@@ -102,6 +110,16 @@ impl AsyncLockService {
         self.sync.stats()
     }
 
+    /// The telemetry instance this service records into.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        self.sync.metrics()
+    }
+
+    /// See [`LockService::metrics_snapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.sync.metrics_snapshot()
+    }
+
     /// Acquires the mutex for `key` asynchronously. The returned future
     /// attaches the key's slot immediately (so the slot is pinned for the
     /// future's whole lifetime) but contends for the word only when
@@ -112,6 +130,8 @@ impl AsyncLockService {
             slot: Some(self.sync.table().attach(key, SlotKind::Mutex)),
             entry: None,
             parked: false,
+            contended: false,
+            started: None,
         }
     }
 
@@ -171,6 +191,7 @@ impl AsyncLockService {
             parties,
             phase: BarrierPhase::Arriving,
             entry: None,
+            started: None,
         }
     }
 }
@@ -205,6 +226,12 @@ pub struct LockFuture<'a> {
     /// cannot know whether other waiters remain, so our own release must
     /// wake.
     parked: bool,
+    /// Whether this future ever observed the word held (telemetry: an
+    /// acquisition with `!contended` is a fast-path one).
+    contended: bool,
+    /// Sampled wait-timing start, taken at first contact with a held
+    /// word.
+    started: Option<Instant>,
 }
 
 impl<'a> Future for LockFuture<'a> {
@@ -218,16 +245,33 @@ impl<'a> Future for LockFuture<'a> {
         let slot = this.slot.as_ref().expect("LockFuture polled after completion");
         let word = slot.word();
         loop {
-            match word.load(Ordering::SeqCst) {
+            let cur = word.load(Ordering::SeqCst);
+            if cur != FREE && !this.contended {
+                // First contact with a held word: maybe start a sampled
+                // wait measurement, feeding the hot-key sketch at the
+                // sampling rate like the blocking slow path.
+                this.contended = true;
+                this.started = slot.metrics().wait_timer(slot.shard());
+                if this.started.is_some() {
+                    slot.metrics().note_hot_key(slot.key());
+                }
+            }
+            match cur {
                 FREE => {
                     let next = if this.parked { CONTENDED } else { HELD };
                     if word
                         .compare_exchange(FREE, next, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                     {
+                        let started = this.started.take();
                         let slot = this.slot.take().expect("slot present until completion");
+                        slot.metrics()
+                            .count_acquire(slot.shard(), !this.contended, this.parked);
+                        slot.metrics().record_wait(Primitive::AsyncMutex, started);
                         return Poll::Ready(KeyGuard::from_acquired(slot));
                     }
+                    this.contended = true;
+                    slot.metrics().count_cas_retry(slot.shard());
                 }
                 HELD => {
                     // Announce waiters; whoever holds it will wake us.
@@ -258,6 +302,7 @@ impl Drop for LockFuture<'_> {
             return;
         };
         let slot = self.slot.as_ref().expect("entry implies slot");
+        slot.metrics().count_cancellation(slot.shard());
         if !slot.cancel_waiter(entry) {
             // A release already chose us: it swapped the word to FREE and
             // woke exactly one waiter — this future. Nobody else will be
@@ -337,6 +382,8 @@ pub struct EventWaitFuture<'k, 'a> {
     target: u64,
     entry: Option<WaitEntry>,
     done: bool,
+    /// Sampled wait-timing start, taken at the first park.
+    started: Option<Instant>,
 }
 
 impl<'a> EventKey<'a> {
@@ -351,6 +398,7 @@ impl<'a> EventKey<'a> {
             target,
             entry: None,
             done: false,
+            started: None,
         }
     }
 }
@@ -367,11 +415,18 @@ impl Future for EventWaitFuture<'_, '_> {
         loop {
             let cur = this.key.read();
             if crate::seq_ge(cur, this.target) {
+                let slot = this.key.slot();
+                slot.metrics()
+                    .record_wait(Primitive::EventCount, this.started.take());
                 this.done = true;
                 return Poll::Ready(cur);
             }
             match this.key.slot().register_waker(cur, cx.waker()) {
                 Some(e) => {
+                    if this.started.is_none() {
+                        let slot = this.key.slot();
+                        this.started = slot.metrics().wait_timer(slot.shard());
+                    }
                     this.entry = Some(e);
                     return Poll::Pending;
                 }
@@ -384,9 +439,11 @@ impl Future for EventWaitFuture<'_, '_> {
 impl Drop for EventWaitFuture<'_, '_> {
     fn drop(&mut self) {
         if let Some(entry) = self.entry.take() {
+            let slot = self.key.slot();
+            slot.metrics().count_cancellation(slot.shard());
             // advance() wakes every waiter, so a consumed wake deprived
             // nobody; no baton to pass.
-            let _ = self.key.slot().cancel_waiter(entry);
+            let _ = slot.cancel_waiter(entry);
         }
     }
 }
@@ -409,6 +466,8 @@ pub struct BarrierFuture<'a> {
     parties: u32,
     phase: BarrierPhase,
     entry: Option<WaitEntry>,
+    /// Sampled wait-timing start, taken when the arrival is recorded.
+    started: Option<Instant>,
 }
 
 impl Future for BarrierFuture<'_> {
@@ -447,12 +506,15 @@ impl Future for BarrierFuture<'_> {
                         .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                     {
+                        this.started = slot.metrics().wait_timer(slot.shard());
                         this.phase = BarrierPhase::Waiting { round: cur >> 32 };
                     }
                 }
                 BarrierPhase::Waiting { round } => {
                     let now = word.load(Ordering::SeqCst);
                     if now >> 32 != round {
+                        slot.metrics()
+                            .record_wait(Primitive::Barrier, this.started.take());
                         this.phase = BarrierPhase::Done;
                         return Poll::Ready(false);
                     }
@@ -473,12 +535,10 @@ impl Future for BarrierFuture<'_> {
 impl Drop for BarrierFuture<'_> {
     fn drop(&mut self) {
         if let Some(entry) = self.entry.take() {
+            let slot = self.slot.as_ref().expect("entry implies slot");
+            slot.metrics().count_cancellation(slot.shard());
             // Round completion wakes every waiter; no baton owed.
-            let _ = self
-                .slot
-                .as_ref()
-                .expect("entry implies slot")
-                .cancel_waiter(entry);
+            let _ = slot.cancel_waiter(entry);
         }
         if let BarrierPhase::Waiting { round } = self.phase {
             // Un-arrive: withdraw our arrival unless the round already

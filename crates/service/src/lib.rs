@@ -40,7 +40,9 @@
 //!
 //! The load generator that drives this crate lives in
 //! `workloads::service_load`; the figures it feeds (`fig11`, `table6`,
-//! `fig12`) are registered in `bench::figures`.
+//! `fig12`, `table7`) are registered in `bench::figures`. Live telemetry —
+//! per-shard counters, sampled latency histograms, a hot-key sketch, a
+//! flight recorder, and the stall watchdog — lives in [`telemetry`].
 //!
 //! ## Environment knobs
 //!
@@ -48,16 +50,18 @@
 //! |---|---|
 //! | `SYNCMECH_SERVICE_SHARDS` | shard count for [`lock::LockService::new`] (default 256, rounded up to a power of two) |
 //! | `SYNCMECH_SERVICE_THREADS` | worker threads for the real-thread service load generator (default: host parallelism; clamped to [`MAX_THREAD_OVERSUB`]× the host parallelism, with a warning) |
+//! | `SYNCMECH_SERVICE_METRICS` | telemetry mode: `off`, `counters` (default), or `sampled:<N>` (counters + 1-in-N latency sampling; see [`telemetry`]) |
 //!
-//! Both reject `0` and non-numeric values loudly (see [`service_shards_from`]
-//! and [`service_threads_from`]): a user who sets a knob meant to control
-//! it, and a silent fallback would make a typo look like a performance
-//! mystery.
+//! All of them reject malformed values loudly (see [`service_shards_from`],
+//! [`service_threads_from`] and [`telemetry::service_metrics_from`]): a
+//! user who sets a knob meant to control it, and a silent fallback would
+//! make a typo look like a performance mystery.
 
 pub mod async_lock;
 pub mod lock;
 pub mod semaphore;
 pub mod table;
+pub mod telemetry;
 
 pub use async_lock::{
     block_on, AsyncLockService, BarrierFuture, EventWaitFuture, LockFuture, LockManyFuture,
@@ -66,6 +70,10 @@ pub use async_lock::{
 pub use lock::{EventKey, KeyGuard, LockService};
 pub use semaphore::{AcquireFuture, WaitingArraySemaphore};
 pub use table::{ShardedTable, SlotKind, SlotRef, TableStats};
+pub use telemetry::{
+    service_metrics, service_metrics_from, MetricsMode, MetricsSnapshot, ServiceMetrics,
+    StallWatchdog,
+};
 
 /// Default shard count for a [`LockService`] when
 /// `SYNCMECH_SERVICE_SHARDS` is unset: enough that 64 threads hashing

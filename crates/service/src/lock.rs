@@ -29,9 +29,13 @@
 //!   sense bit).
 
 use crate::table::{ShardedTable, SlotKind, SlotRef, TableStats};
+use crate::telemetry::{MetricsMode, MetricsSnapshot, Primitive, ServiceMetrics};
 use crate::{seq_ge, service_shards};
+use parking::futex::FutexTotals;
 use qsm::Backoff;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Mutex word states (shared with the async front end in `async_lock`).
 pub(crate) const FREE: u64 = 0;
@@ -56,20 +60,57 @@ impl LockService {
     }
 
     /// A service with an explicit shard count (rounded up to a power of
-    /// two).
+    /// two) and the environment-selected telemetry mode.
+    ///
+    /// Constructing a service also installs the global futex tracer if
+    /// `SYNCMECH_TRACE` asks for one (`parking::trace_hooks::init_from_env`),
+    /// so one knob traces the simulator and the service stack alike.
     ///
     /// # Panics
     ///
-    /// If `shards` is zero.
+    /// If `shards` is zero, or if `SYNCMECH_SERVICE_METRICS` /
+    /// `SYNCMECH_TRACE` are set to invalid values.
     pub fn with_shards(shards: usize) -> Self {
+        parking::trace_hooks::init_from_env();
         LockService {
             table: ShardedTable::new(shards),
+        }
+    }
+
+    /// [`LockService::with_shards`] with an explicit telemetry mode,
+    /// ignoring `SYNCMECH_SERVICE_METRICS` — the overhead figure uses this
+    /// to compare modes within one process.
+    pub fn with_metrics_mode(shards: usize, mode: MetricsMode) -> Self {
+        parking::trace_hooks::init_from_env();
+        LockService {
+            table: ShardedTable::with_metrics(shards, Arc::new(ServiceMetrics::new(mode))),
         }
     }
 
     /// The backing table, for occupancy checks.
     pub fn stats(&self) -> TableStats {
         self.table.stats()
+    }
+
+    /// The telemetry instance this service records into.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        self.table.metrics()
+    }
+
+    /// A [`MetricsSnapshot`] with the table occupancy and the lot-local
+    /// futex ledger filled in — the full export surface.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.table.metrics().snapshot();
+        snap.table = Some(self.table.stats());
+        snap.futex = Some(self.table.lot().totals());
+        snap
+    }
+
+    /// This service's lot-local futex ledger (parks/wakes/resumes of the
+    /// table's embedded lot only — unrelated lots in the process don't
+    /// show up here).
+    pub fn futex_totals(&self) -> FutexTotals {
+        self.table.lot().totals()
     }
 
     /// The backing table itself — the async front end attaches its slots
@@ -86,7 +127,14 @@ impl LockService {
         let slot = self.table.attach(key, SlotKind::Mutex);
         let word = slot.word();
         if Self::try_acquire(word) {
-            return KeyGuard { slot };
+            slot.metrics().count_acquire(slot.shard(), true, false);
+            return KeyGuard::acquired(slot, None);
+        }
+        // Contended: maybe start a sampled wait measurement, and feed the
+        // hot-key sketch at the sampling rate.
+        let started = slot.metrics().wait_timer(slot.shard());
+        if started.is_some() {
+            slot.metrics().note_hot_key(key);
         }
         // Bounded spin: a short-hold owner releases within the budget and
         // we take the lock without a park/wake round trip.
@@ -94,13 +142,15 @@ impl LockService {
         while !backoff.is_completed() {
             backoff.snooze();
             if Self::try_acquire(word) {
-                return KeyGuard { slot };
+                slot.metrics().count_acquire(slot.shard(), false, false);
+                return KeyGuard::acquired(slot, started);
             }
         }
         // Slow path: hold the word at CONTENDED while waiting so the
         // releaser knows to wake, and acquire *as* CONTENDED — we cannot
         // know whether other waiters remain, so the release after our
         // critical section must wake too.
+        let mut parked = false;
         loop {
             match word.load(Ordering::SeqCst) {
                 FREE => {
@@ -108,8 +158,10 @@ impl LockService {
                         .compare_exchange(FREE, CONTENDED, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                     {
-                        return KeyGuard { slot };
+                        slot.metrics().count_acquire(slot.shard(), false, parked);
+                        return KeyGuard::acquired(slot, started);
                     }
+                    slot.metrics().count_cas_retry(slot.shard());
                 }
                 HELD => {
                     // Announce waiters; whoever holds it will wake us.
@@ -117,7 +169,7 @@ impl LockService {
                         word.compare_exchange(HELD, CONTENDED, Ordering::SeqCst, Ordering::SeqCst);
                 }
                 _ => {
-                    slot.wait(CONTENDED);
+                    parked |= slot.wait(CONTENDED);
                 }
             }
         }
@@ -127,7 +179,8 @@ impl LockService {
     pub fn try_lock(&self, key: u64) -> Option<KeyGuard<'_>> {
         let slot = self.table.attach(key, SlotKind::Mutex);
         if Self::try_acquire(slot.word()) {
-            Some(KeyGuard { slot })
+            slot.metrics().count_acquire(slot.shard(), true, false);
+            Some(KeyGuard::acquired(slot, None))
         } else {
             None
         }
@@ -185,9 +238,11 @@ impl LockService {
                 break cur >> 32;
             }
         };
+        let started = slot.metrics().wait_timer(slot.shard());
         loop {
             let now = word.load(Ordering::SeqCst);
             if now >> 32 != round {
+                slot.metrics().record_wait(Primitive::Barrier, started);
                 return false;
             }
             slot.wait(now);
@@ -199,14 +254,26 @@ impl LockService {
 /// drop.
 pub struct KeyGuard<'a> {
     slot: SlotRef<'a>,
+    /// Sampled hold-timing start, recorded on release.
+    hold: Option<Instant>,
 }
 
 impl<'a> KeyGuard<'a> {
+    /// Finishes an acquisition: records the sampled wait (if `started`),
+    /// and maybe starts a sampled hold measurement.
+    fn acquired(slot: SlotRef<'a>, started: Option<Instant>) -> Self {
+        let metrics = slot.metrics();
+        metrics.record_wait(Primitive::Mutex, started);
+        let hold = metrics.wait_timer(slot.shard());
+        KeyGuard { slot, hold }
+    }
+
     /// Wraps a slot whose mutex word the caller has already driven to
     /// HELD or CONTENDED — the async lock future's acquisition path.
     pub(crate) fn from_acquired(slot: SlotRef<'a>) -> Self {
         debug_assert!(slot.word().load(Ordering::SeqCst) != FREE);
-        KeyGuard { slot }
+        let hold = slot.metrics().wait_timer(slot.shard());
+        KeyGuard { slot, hold }
     }
 
     /// The key this guard locks.
@@ -219,6 +286,7 @@ impl Drop for KeyGuard<'_> {
     fn drop(&mut self) {
         let prev = self.slot.word().swap(FREE, Ordering::SeqCst);
         debug_assert!(prev == HELD || prev == CONTENDED, "unlock of a free lock");
+        self.slot.metrics().record_hold(self.hold.take());
         if prev == CONTENDED {
             // Wake the oldest parked waiter (no direct handoff: the word
             // is already FREE, so a newcomer may beat the wakee to it).
@@ -259,9 +327,15 @@ impl<'a> EventKey<'a> {
     /// Parks until the count reaches at least `target` (wraparound-safe),
     /// returning the count observed.
     pub fn await_at_least(&self, target: u64) -> u64 {
+        let cur = self.read();
+        if seq_ge(cur, target) {
+            return cur;
+        }
+        let started = self.slot.metrics().wait_timer(self.slot.shard());
         loop {
             let cur = self.read();
             if seq_ge(cur, target) {
+                self.slot.metrics().record_wait(Primitive::EventCount, started);
                 return cur;
             }
             self.slot.wait(cur);

@@ -49,14 +49,16 @@
 //! *inside* the lock before inserting, so exactly one side recycles.
 
 use crate::seq_ge;
+use crate::telemetry::{Primitive, ServiceMetrics};
 use parking::futex::WaitEntry;
 use qsm::{Backoff, CachePadded};
 use std::collections::HashSet;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
+use std::time::Instant;
 
 /// The waiting-array semaphore. See the module docs for the protocol.
 pub struct WaitingArraySemaphore {
@@ -74,6 +76,11 @@ pub struct WaitingArraySemaphore {
     /// the releaser that publishes such a grant recycles the permit. Cold:
     /// touched only on cancellation and (briefly) per grant.
     abandoned: Mutex<HashSet<u64>>,
+    /// Telemetry sink; semaphores have no table, so they default to the
+    /// process-global instance (see [`crate::telemetry::global`]). Events
+    /// stripe by ticket, which spreads concurrent acquirers/releasers
+    /// across counter lines for free.
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl WaitingArraySemaphore {
@@ -87,15 +94,29 @@ impl WaitingArraySemaphore {
     ///
     /// # Panics
     ///
-    /// If `slots` is zero, or `permits` exceeds `i64::MAX`.
+    /// If `slots` is zero, or `permits` exceeds `i64::MAX` — or (on the
+    /// first semaphore in the process) if `SYNCMECH_SERVICE_METRICS` is
+    /// set to an invalid value.
     pub fn new(permits: usize, slots: usize) -> Self {
         Self::with_ticket_origin(permits, slots, 0)
+    }
+
+    /// [`WaitingArraySemaphore::new`] recording into an explicit telemetry
+    /// instance instead of the process-global one — e.g. the instance of
+    /// the service the semaphore guards keys for
+    /// ([`crate::LockService::metrics`]).
+    pub fn with_metrics(permits: usize, slots: usize, metrics: Arc<ServiceMetrics>) -> Self {
+        Self::build(permits, slots, 0, metrics)
     }
 
     /// [`WaitingArraySemaphore::new`] with the ticket counters starting at
     /// `origin` instead of 0 — a test hook that lets the wraparound suite
     /// start tickets near `u64::MAX` without issuing 2^64 operations.
     pub fn with_ticket_origin(permits: usize, slots: usize, origin: u64) -> Self {
+        Self::build(permits, slots, origin, crate::telemetry::global())
+    }
+
+    fn build(permits: usize, slots: usize, origin: u64, metrics: Arc<ServiceMetrics>) -> Self {
         assert!(slots > 0, "a waiting array needs at least one slot");
         let permits = i64::try_from(permits).expect("permit count fits in i64");
         let w = slots.next_power_of_two() as u64;
@@ -116,6 +137,7 @@ impl WaitingArraySemaphore {
             slots,
             mask: w - 1,
             abandoned: Mutex::new(HashSet::new()),
+            metrics,
         }
     }
 
@@ -138,12 +160,14 @@ impl WaitingArraySemaphore {
             return;
         }
         let ticket = self.enq.fetch_add(1, Ordering::SeqCst);
+        let started = self.metrics.wait_timer(ticket as usize);
         let slot = &self.slots[(ticket & self.mask) as usize];
         let target = ticket.wrapping_add(1);
         let mut backoff = Backoff::new();
         loop {
             let cur = slot.load(Ordering::SeqCst);
             if seq_ge(cur, target) {
+                self.metrics.record_wait(Primitive::Semaphore, started);
                 return;
             }
             if backoff.is_completed() {
@@ -213,10 +237,12 @@ impl WaitingArraySemaphore {
             // under this same lock and then observe the publication) — see
             // the module docs. Exactly one side recycles.
             if self.abandoned.lock().unwrap().remove(&ticket) {
+                self.metrics.count_sem_abandon(ticket as usize);
                 remaining += 1;
                 continue;
             }
             granted += 1;
+            self.metrics.count_sem_grants(ticket as usize, 1);
             addrs.push(parking::futex::addr_of(slot));
         }
         if !addrs.is_empty() {
@@ -241,6 +267,7 @@ impl WaitingArraySemaphore {
         AcquireFuture {
             sem: self,
             state: AcquireState::Init,
+            started: None,
         }
     }
 
@@ -287,6 +314,8 @@ enum AcquireState {
 pub struct AcquireFuture<'a> {
     sem: &'a WaitingArraySemaphore,
     state: AcquireState,
+    /// Sampled wait-timing start, taken when the ticket is.
+    started: Option<Instant>,
 }
 
 impl Future for AcquireFuture<'_> {
@@ -303,6 +332,7 @@ impl Future for AcquireFuture<'_> {
                         return Poll::Ready(());
                     }
                     let ticket = this.sem.enq.fetch_add(1, Ordering::SeqCst);
+                    this.started = this.sem.metrics.wait_timer(ticket as usize);
                     this.state = AcquireState::Waiting {
                         ticket,
                         entry: None,
@@ -328,6 +358,9 @@ impl Future for AcquireFuture<'_> {
                     loop {
                         let cur = slot.load(Ordering::SeqCst);
                         if seq_ge(cur, target) {
+                            this.sem
+                                .metrics
+                                .record_wait(Primitive::Semaphore, this.started.take());
                             this.state = AcquireState::Done;
                             return Poll::Ready(());
                         }
@@ -355,6 +388,7 @@ impl Drop for AcquireFuture<'_> {
         if let AcquireState::Waiting { ticket, entry } =
             std::mem::replace(&mut self.state, AcquireState::Done)
         {
+            self.sem.metrics.count_cancellation(ticket as usize);
             if let Some(e) = entry {
                 // Withdraw the parked waker. If a wake had already
                 // dequeued it, that wake was a slot-wide wake-all (every

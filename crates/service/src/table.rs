@@ -21,11 +21,12 @@
 //! million-key churn recycles a bounded slab population instead of growing
 //! one slot per key.
 
+use crate::telemetry::{FlightKind, ServiceMetrics};
 use parking::futex::{mix64, ParkingLot};
 use qsm::CachePadded;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Shard locking that shrugs off poisoning: every critical section here
 /// leaves the shard consistent at every await-free step (the one panic —
@@ -138,16 +139,30 @@ pub struct ShardedTable {
     shards: Box<[CachePadded<Mutex<ShardInner>>]>,
     mask: u64,
     lot: ParkingLot,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl ShardedTable {
     /// A table with at least `shards` shards (rounded up to a power of
-    /// two) and an embedded parking lot sized to the shard count.
+    /// two), an embedded parking lot sized to the shard count, and a fresh
+    /// telemetry instance in the environment-selected mode
+    /// ([`crate::telemetry::service_metrics`]).
     ///
     /// # Panics
     ///
-    /// If `shards` is zero.
+    /// If `shards` is zero, or if `SYNCMECH_SERVICE_METRICS` is set to an
+    /// invalid value.
     pub fn new(shards: usize) -> Self {
+        Self::with_metrics(
+            shards,
+            Arc::new(ServiceMetrics::new(crate::telemetry::service_metrics())),
+        )
+    }
+
+    /// [`ShardedTable::new`] with an explicit telemetry instance — the
+    /// figure harness uses this to compare modes within one process, and
+    /// callers can share one instance across tables.
+    pub fn with_metrics(shards: usize, metrics: Arc<ServiceMetrics>) -> Self {
         assert!(shards > 0, "a sharded table needs at least one shard");
         let n = shards.next_power_of_two();
         ShardedTable {
@@ -156,7 +171,13 @@ impl ShardedTable {
                 .collect(),
             mask: n as u64 - 1,
             lot: ParkingLot::with_buckets(n.clamp(64, 4096)),
+            metrics,
         }
+    }
+
+    /// The telemetry instance slots of this table record into.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
     }
 
     /// Shard count (always a power of two).
@@ -247,6 +268,7 @@ impl ShardedTable {
             // parked waiter holds a reference), so a plain store suffices.
             inner.slot(idx).word.store(0, Ordering::SeqCst);
             inner.free.push(idx);
+            self.metrics.count_slot_recycle(shard);
         }
     }
 
@@ -300,17 +322,40 @@ impl SlotRef<'_> {
         self.key
     }
 
+    /// The shard index this slot lives in — also its telemetry stripe.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The telemetry instance of the owning table.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.table.metrics
+    }
+
     /// Parks iff the word still holds `expected`; see
     /// [`ParkingLot::wait`]. Returns `true` if the thread parked.
     pub fn wait(&self, expected: u64) -> bool {
-        self.table.lot.wait(self.word(), expected)
+        let parked = self.table.lot.wait(self.word(), expected);
+        if parked {
+            self.table
+                .metrics
+                .flight(self.shard, FlightKind::Park, self.key);
+        }
+        parked
     }
 
     /// Wakes up to `n` waiters of this slot, oldest first.
     pub fn wake(&self, n: usize) -> usize {
-        self.table
+        let woken = self
+            .table
             .lot
-            .wake_addr(parking::futex::addr_of(self.word()), n)
+            .wake_addr(parking::futex::addr_of(self.word()), n);
+        if woken > 0 {
+            self.table
+                .metrics
+                .flight(self.shard, FlightKind::Wake, self.key);
+        }
+        woken
     }
 
     /// Registers an async waker entry on this slot iff the word still
@@ -323,13 +368,22 @@ impl SlotRef<'_> {
         expected: u64,
         waker: &std::task::Waker,
     ) -> Option<parking::futex::WaitEntry> {
-        self.table.lot.register(self.word(), expected, waker)
+        let entry = self.table.lot.register(self.word(), expected, waker);
+        if entry.is_some() {
+            self.table
+                .metrics
+                .flight(self.shard, FlightKind::Park, self.key);
+        }
+        entry
     }
 
     /// Withdraws a waker entry registered through
     /// [`SlotRef::register_waker`]; see [`ParkingLot::cancel`] for the
     /// grant-ownership contract of the return value.
     pub fn cancel_waiter(&self, entry: parking::futex::WaitEntry) -> bool {
+        self.table
+            .metrics
+            .flight(self.shard, FlightKind::Cancel, self.key);
         self.table.lot.cancel(entry)
     }
 }

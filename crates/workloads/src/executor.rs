@@ -101,6 +101,19 @@ impl std::task::Wake for TaskWaker {
     }
 }
 
+/// Poll/wake statistics of one executor, accumulated across `run` calls —
+/// the executor's contribution to the service telemetry story (task polls
+/// and wake-to-poll latency, both in deterministic virtual units).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorMetrics {
+    /// Task polls dispatched.
+    pub polls: u64,
+    /// Virtual cycles between a waker firing inside a poll and the woken
+    /// task's re-poll: the wake cost plus any ready-queue delay. Timer
+    /// expiries are time passing, not wakes, and are not recorded.
+    pub wake_to_poll: trace::Histogram,
+}
+
 /// How an [`Executor::run`] ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
@@ -119,10 +132,13 @@ pub struct Executor<'a> {
     shared: Arc<Shared>,
     tasks: Vec<Option<Pin<Box<dyn Future<Output = ()> + 'a>>>>,
     ready: VecDeque<usize>,
-    /// Wake-cost re-polls: min-heap on (time, seq, task id).
-    resumes: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Wake-cost re-polls: min-heap on (time, seq, task id, wake time).
+    /// The trailing wake timestamp rides along for the wake-to-poll
+    /// histogram; (time, seq) stays the unique ordering key.
+    resumes: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
     wake_cost: u64,
     unfinished: usize,
+    metrics: ExecutorMetrics,
 }
 
 impl Default for Executor<'_> {
@@ -146,7 +162,13 @@ impl<'a> Executor<'a> {
             resumes: BinaryHeap::new(),
             wake_cost,
             unfinished: 0,
+            metrics: ExecutorMetrics::default(),
         }
+    }
+
+    /// Poll/wake statistics accumulated so far.
+    pub fn metrics(&self) -> &ExecutorMetrics {
+        &self.metrics
     }
 
     /// A clock/timer handle, cloneable into tasks.
@@ -181,8 +203,12 @@ impl<'a> Executor<'a> {
             // is re-polled wake_cost cycles from now.
             let now = self.now();
             for id in self.shared.woken.lock().unwrap().drain(..) {
-                self.resumes
-                    .push(Reverse((now + self.wake_cost, self.shared.next_seq(), id)));
+                self.resumes.push(Reverse((
+                    now + self.wake_cost,
+                    self.shared.next_seq(),
+                    id,
+                    now,
+                )));
             }
             if let Some(id) = self.ready.pop_front() {
                 self.poll_task(id);
@@ -191,7 +217,7 @@ impl<'a> Executor<'a> {
             // Idle: jump the clock to the next scheduled event and
             // dispatch everything due, merging the two heaps in global
             // (time, seq) order.
-            let next_resume = self.resumes.peek().map(|Reverse((t, s, _))| (*t, *s));
+            let next_resume = self.resumes.peek().map(|Reverse((t, s, ..))| (*t, *s));
             let next_timer = {
                 let timers = self.shared.timers.lock().unwrap();
                 timers.peek().map(|Reverse(e)| (e.at, e.seq))
@@ -218,7 +244,7 @@ impl<'a> Executor<'a> {
                     .resumes
                     .peek()
                     .filter(|Reverse((at, ..))| *at <= t)
-                    .map(|Reverse((at, s, _))| (*at, *s));
+                    .map(|Reverse((at, s, ..))| (*at, *s));
                 let due_timer = {
                     let timers = self.shared.timers.lock().unwrap();
                     timers
@@ -233,7 +259,8 @@ impl<'a> Executor<'a> {
                     (Some(r), Some(tm)) => r < tm,
                 };
                 if take_resume {
-                    let Reverse((_, _, id)) = self.resumes.pop().expect("peeked");
+                    let Reverse((at, _, id, woke_at)) = self.resumes.pop().expect("peeked");
+                    self.metrics.wake_to_poll.record(at.saturating_sub(woke_at));
                     self.ready.push_back(id);
                 } else {
                     let entry = {
@@ -256,6 +283,7 @@ impl<'a> Executor<'a> {
             // A stale duplicate wake of a completed task.
             return;
         };
+        self.metrics.polls += 1;
         let waker = Waker::from(Arc::new(TaskWaker {
             id,
             shared: Arc::clone(&self.shared),

@@ -404,6 +404,24 @@ impl AsyncServiceResult {
     }
 }
 
+/// An [`async_load_with_metrics`] run: the workload outcome plus the
+/// telemetry the service and the executor collected while serving it.
+/// This is what `table7` renders — the counters are pure functions of
+/// the schedule, so they are figure-safe; only the histogram *nanosecond*
+/// values inside [`service::MetricsSnapshot`] are wall-clock.
+#[derive(Debug)]
+pub struct AsyncMetricsReport {
+    /// The workload outcome, identical to what [`async_load`] returns.
+    pub result: AsyncServiceResult,
+    /// The service-side telemetry snapshot (lock + semaphore share one
+    /// [`service::ServiceMetrics`], so semaphore grants land here too).
+    pub snapshot: service::MetricsSnapshot,
+    /// Task polls the executor dispatched.
+    pub polls: u64,
+    /// Virtual cycles from futex wake to the woken task's re-poll.
+    pub wake_to_poll: Histogram,
+}
+
 /// Drives the async lock service with the *same* request schedule as
 /// [`sim_load`] on the deterministic virtual-clock executor: one task per
 /// request sleeps until its arrival, acquires a worker permit from a
@@ -419,12 +437,28 @@ impl AsyncServiceResult {
 /// publication order — no heap address or ASLR artifact can reorder
 /// anything observable.
 pub fn async_load(cfg: &ServiceLoadConfig, wake_cost: u64) -> AsyncServiceResult {
+    async_load_with_metrics(cfg, wake_cost, service::service_metrics()).result
+}
+
+/// [`async_load`] with an explicit metrics mode, returning the service's
+/// telemetry snapshot and the executor's poll accounting alongside the
+/// workload result. The service and the worker-pool semaphore share one
+/// per-instance [`service::ServiceMetrics`], so the run never touches the
+/// process-global registry and trials at different modes don't bleed into
+/// each other — which is exactly what the `table7` overhead comparison
+/// needs.
+pub fn async_load_with_metrics(
+    cfg: &ServiceLoadConfig,
+    wake_cost: u64,
+    mode: service::MetricsMode,
+) -> AsyncMetricsReport {
     assert!(cfg.threads > 0, "the service load needs at least one worker");
     let reqs = generate_requests(cfg);
-    let svc = service::AsyncLockService::with_shards(256);
-    let pool = service::WaitingArraySemaphore::new(
+    let svc = service::AsyncLockService::with_metrics_mode(256, mode);
+    let pool = service::WaitingArraySemaphore::with_metrics(
         cfg.threads,
         cfg.threads.next_power_of_two().max(2),
+        svc.metrics().clone(),
     );
     struct Tally {
         wait: Histogram,
@@ -463,15 +497,23 @@ pub fn async_load(cfg: &ServiceLoadConfig, wake_cost: u64) -> AsyncServiceResult
     }
     let outcome = ex.run();
     assert_eq!(outcome, Outcome::Completed, "async load never deadlocks");
+    let polls = ex.metrics().polls;
+    let wake_to_poll = ex.metrics().wake_to_poll.clone();
     drop(ex);
     debug_assert_eq!(svc.stats().live, 0, "all keys retired at drain");
+    let snapshot = svc.metrics_snapshot();
     let t = tally.into_inner();
-    AsyncServiceResult {
-        threads: cfg.threads,
-        completed: t.completed,
-        makespan: t.makespan,
-        wait: t.wait,
-        hold: t.hold,
+    AsyncMetricsReport {
+        result: AsyncServiceResult {
+            threads: cfg.threads,
+            completed: t.completed,
+            makespan: t.makespan,
+            wait: t.wait,
+            hold: t.hold,
+        },
+        snapshot,
+        polls,
+        wake_to_poll,
     }
 }
 
@@ -647,6 +689,22 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.wait_q(0.999), b.wait_q(0.999));
         assert_eq!(a.wait_q(0.5), b.wait_q(0.5));
+    }
+
+    #[test]
+    fn async_metrics_report_counts_the_schedule() {
+        let cfg = ServiceLoadConfig::new(8, 400);
+        let off = async_load_with_metrics(&cfg, 40, service::MetricsMode::Off);
+        let on = async_load_with_metrics(&cfg, 40, service::MetricsMode::Counters);
+        // Telemetry must not perturb the virtual schedule in any mode.
+        assert_eq!(off.result.makespan, on.result.makespan);
+        assert_eq!(off.snapshot.acquires, 0, "off mode still counted");
+        assert_eq!(on.snapshot.acquires, 400, "one key acquire per request");
+        assert!(on.snapshot.fast_path + on.snapshot.parked <= on.snapshot.acquires);
+        assert!(on.polls > 0, "executor poll accounting missing");
+        let sampled = async_load_with_metrics(&cfg, 40, service::MetricsMode::Sampled(64));
+        assert_eq!(sampled.result.makespan, on.result.makespan);
+        assert!(sampled.snapshot.wait_samples() > 0, "sampling never fired");
     }
 
     #[test]

@@ -6,20 +6,23 @@
 //!   - the table drains to zero live keys (every attach was detached),
 //!   - slab capacity stayed bounded by peak liveness, not by the number
 //!     of distinct keys (slots were recycled),
-//!   - machine-wide futex accounting balances: every park was matched
-//!     by a wake and a resume (`parks == wakes == resumes`).
+//!   - the service's **lot-local** futex ledger balances *exactly*:
+//!     every park this service caused was matched by a wake and a
+//!     resume, with no `since()` delta and no slack for other parkers
+//!     in the process ([`service::LockService::futex_totals`] reads the
+//!     table's own lot, so the counts are this run's and nothing else's),
+//!   - the telemetry counters account for every single acquisition.
 //!
-//! The futex counters are process-global, so everything here lives in
-//! ONE `#[test]` fn — a second concurrently-running test that parks
-//! would make the `since()` delta meaningless.
+//! The semaphore phase still parks through the process-global lot, so
+//! it keeps the delta-based balance check and shares this ONE `#[test]`
+//! fn — a second concurrently-running test that parks would make its
+//! `since()` delta meaningless.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[test]
 fn million_key_churn_drains_and_balances() {
-    let before = parking::futex::totals();
-
     let threads = 8usize;
     // 8 threads x 128k keys + the shared band = >1M distinct keys.
     let private_keys = 128 * 1024u64;
@@ -79,13 +82,38 @@ fn million_key_churn_drains_and_balances() {
         stats.capacity
     );
 
-    let futex = parking::futex::totals().since(&before);
+    // Lot-local ledger: the service's table parks on its own lot, so
+    // these are exactly this run's events — no baseline subtraction, no
+    // tolerance for unrelated parkers.
+    let futex = svc.futex_totals();
     assert!(
         futex.balanced(),
         "futex accounting unbalanced at teardown: parks {} wakes {} resumes {}",
         futex.parks,
         futex.wakes,
         futex.resumes
+    );
+    assert_eq!(futex.parks, futex.resumes, "every park resumed exactly once");
+
+    // Telemetry (default `counters` mode) must account for every one of
+    // the million-plus acquisitions, and fast/parked must partition
+    // consistently.
+    let snap = svc.metrics_snapshot();
+    assert_eq!(snap.acquires, total, "telemetry lost acquisitions");
+    assert!(
+        snap.fast_path + snap.parked <= snap.acquires,
+        "fast {} + parked {} exceed acquires {}",
+        snap.fast_path,
+        snap.parked,
+        snap.acquires
+    );
+    // Every drained slot lifetime returned its slot to a free list; with
+    // over a million single-holder keys that is most of the traffic.
+    assert!(
+        snap.slot_recycles >= threads as u64 * private_keys && snap.slot_recycles <= total,
+        "slot recycles {} out of range for {} acquisitions",
+        snap.slot_recycles,
+        total
     );
 
     // The waiting-array semaphore shares the accounting: overflowing a
